@@ -1,0 +1,84 @@
+// Command fpanalyze runs the paper's trace analyses over binary trace
+// files: rank-popularity by instruction form and by address (with
+// 99%-coverage statistics), and event-rate time series.
+//
+// Usage:
+//
+//	fpanalyze [-forms] [-addrs] [-rate BIN_US] <file.fpemon>...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/study"
+	"repro/internal/trace"
+)
+
+func main() {
+	forms := flag.Bool("forms", true, "rank instruction forms")
+	addrs := flag.Bool("addrs", true, "rank instruction addresses")
+	rateBin := flag.Float64("rate", 0, "emit an events/s time series with this bin size in microseconds")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: fpanalyze [-forms] [-addrs] [-rate BIN_US] <file.fpemon>...")
+		os.Exit(2)
+	}
+
+	var recs []trace.Record
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpanalyze:", err)
+			os.Exit(1)
+		}
+		rs, err := trace.Decode(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fpanalyze: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		recs = append(recs, rs...)
+	}
+	first, last := analysis.Span(recs)
+	fmt.Printf("%d records over %d threads spanning %.3fms\n",
+		len(recs), len(analysis.ByThread(recs)),
+		float64(last-first)/study.ClockHz*1e3)
+
+	fmt.Println("\nevents by class:")
+	for _, ec := range analysis.CountByEvent(recs) {
+		fmt.Printf("  %-6v %d\n", ec.Event, ec.Count)
+	}
+
+	if *forms {
+		ranks := analysis.RankByForm(recs)
+		fmt.Printf("\ninstruction forms: %d total, %d cover 99%% of events\n",
+			len(ranks), analysis.CoverageCount(ranks, 0.99))
+		for _, e := range ranks {
+			fmt.Printf("  %-12s %d\n", e.Key, e.Count)
+		}
+	}
+	if *addrs {
+		ranks := analysis.RankByAddress(recs)
+		fmt.Printf("\ninstruction addresses: %d sites, %d cover 99%% of events\n",
+			len(ranks), analysis.CoverageCount(ranks, 0.99))
+		limit := 20
+		if len(ranks) < limit {
+			limit = len(ranks)
+		}
+		for _, e := range ranks[:limit] {
+			fmt.Printf("  %-12s %d\n", e.Key, e.Count)
+		}
+		if len(ranks) > limit {
+			fmt.Printf("  ... %d more\n", len(ranks)-limit)
+		}
+	}
+	if *rateBin > 0 {
+		pts := analysis.RateSeries(recs, *rateBin*1e-6, study.ClockHz)
+		fmt.Printf("\nevent rate (%gus bins):\n", *rateBin)
+		for _, p := range pts {
+			fmt.Printf("  %10.2fus %12.0f events/s\n", p.TimeSec*1e6, p.EventsPerSec)
+		}
+	}
+}

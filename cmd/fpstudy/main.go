@@ -1,0 +1,54 @@
+// Command fpstudy runs the paper's full Section 4 methodology over the
+// reproduced application and benchmark suites and prints every table and
+// figure of the evaluation (Figures 6 through 19 and the Section 6
+// feasibility analysis).
+//
+// Usage:
+//
+//	fpstudy            # everything
+//	fpstudy -only 9    # a single figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/study"
+)
+
+func main() {
+	only := flag.String("only", "", "emit a single artifact (6-19 or s6)")
+	flag.Parse()
+
+	s := study.New()
+	gens := map[string]func() (*study.Table, error){
+		"6": s.Figure6, "7": s.Figure7, "8": s.Figure8, "9": s.Figure9,
+		"10": s.Figure10, "11": s.Figure11, "12": s.Figure12, "13": s.Figure13,
+		"14": s.Figure14, "15": s.Figure15, "16": s.Figure16, "17": s.Figure17,
+		"18": s.Figure18, "19": s.Figure19, "s6": s.Section6,
+	}
+	if *only != "" {
+		g, ok := gens[strings.ToLower(*only)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fpstudy: unknown artifact %q\n", *only)
+			os.Exit(2)
+		}
+		t, err := g()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpstudy:", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Render())
+		return
+	}
+	tables, err := s.All()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpstudy:", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		fmt.Println(t.Render())
+	}
+}

@@ -1,0 +1,89 @@
+// Command fptrace decodes FPSpy's binary individual-mode trace files
+// into the human-readable form produced by the paper's scripts, or into
+// JSON for downstream tooling.
+//
+// Usage:
+//
+//	fptrace [-json] [-summary] <file.fpemon>...
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/isa"
+	"repro/internal/softfloat"
+	"repro/internal/trace"
+)
+
+// jsonRecord is the JSON shape of one trace record.
+type jsonRecord struct {
+	Time     uint64 `json:"time"`
+	TID      uint32 `json:"tid"`
+	Seq      uint64 `json:"seq"`
+	RIP      string `json:"rip"`
+	RSP      string `json:"rsp"`
+	Mnemonic string `json:"mnemonic"`
+	Event    string `json:"event"`
+	Raised   string `json:"raised"`
+	MXCSR    uint32 `json:"mxcsr"`
+}
+
+func main() {
+	asJSON := flag.Bool("json", false, "emit JSON records")
+	summary := flag.Bool("summary", false, "emit only per-file event summaries")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: fptrace [-json] [-summary] <file.fpemon>...")
+		os.Exit(2)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fptrace:", err)
+			os.Exit(1)
+		}
+		recs, err := trace.Decode(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fptrace: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		switch {
+		case *summary:
+			var union softfloat.Flags
+			counts := map[softfloat.Flags]int{}
+			for i := range recs {
+				union |= recs[i].Raised
+				counts[recs[i].Event]++
+			}
+			fmt.Printf("%s: %d records, conditions %v\n", path, len(recs), union)
+			for ev, n := range counts {
+				fmt.Printf("  %-6v %d\n", ev, n)
+			}
+		case *asJSON:
+			for i := range recs {
+				r := &recs[i]
+				if err := enc.Encode(jsonRecord{
+					Time: r.Time, TID: r.TID, Seq: r.Seq,
+					RIP:      fmt.Sprintf("%#x", r.Rip),
+					RSP:      fmt.Sprintf("%#x", r.Rsp),
+					Mnemonic: isa.Opcode(r.Opcode).String(),
+					Event:    r.Event.String(),
+					Raised:   r.Raised.String(),
+					MXCSR:    r.MXCSR,
+				}); err != nil {
+					fmt.Fprintln(os.Stderr, "fptrace:", err)
+					os.Exit(1)
+				}
+			}
+		default:
+			fmt.Printf("# %s: %d records\n", path, len(recs))
+			for i := range recs {
+				fmt.Println(recs[i].Render(isa.Opcode(recs[i].Opcode).String()))
+			}
+		}
+	}
+}

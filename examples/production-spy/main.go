@@ -1,0 +1,41 @@
+// Production spy: the paper's primary use-case (Figure 1a). A job
+// scheduler launches a stream of user jobs; the launch path wraps each
+// job with FPSpy in aggregate mode — virtually zero overhead, the user
+// sees nothing — and the collected per-thread condition-code records are
+// scanned for red flags.
+package main
+
+import (
+	"fmt"
+
+	fpspy "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Today's job queue, as submitted by users.
+	queue := []string{"lammps", "laghos", "enzo", "moose", "wrf", "nas-cg"}
+
+	fmt.Println("job launch log (FPSpy attached via LD_PRELOAD, aggregate mode):")
+	for _, job := range queue {
+		w, err := workload.ByName(job)
+		if err != nil {
+			panic(err)
+		}
+		res, err := fpspy.Run(w.Build(workload.SizeSmall), fpspy.Options{
+			Config: fpspy.Config{Mode: fpspy.ModeAggregate},
+		})
+		if err != nil {
+			panic(err)
+		}
+		// The user's job ran unchanged; the analyst gets trace data.
+		for _, agg := range res.Aggregates() {
+			fmt.Printf("  job %-8s %v\n", job, agg)
+		}
+		// Particularly problematic behavior is red-flagged.
+		problems := res.EventSet() & (fpspy.FlagInvalid | fpspy.FlagDivideByZero | fpspy.FlagOverflow)
+		if problems != 0 {
+			fmt.Printf("  *** RED FLAG: %s raised %v — notify the application team\n", job, problems)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package fpspy is a faithful reproduction, in pure Go, of FPSpy — the
+// tool from "Spying on the Floating Point Behavior of Existing,
+// Unmodified Scientific Applications" (Dinda, Bernat, Hetland; HPDC
+// 2020) — together with the entire machine and OS substrate it needs.
+//
+// FPSpy observes the IEEE 754 condition codes that x64 hardware sets as a
+// zero-cost side effect of every floating point instruction. In
+// aggregate mode it reads the sticky codes once per thread lifetime; in
+// individual mode it unmasks exceptions and captures a trace record for
+// every faulting instruction using a classic user-level trap-and-emulate
+// protocol (SIGFPE, then a single-step SIGTRAP). Because the Go runtime
+// owns real signal delivery, this reproduction runs FPSpy underneath
+// guest binaries on a simulated x64-subset machine with a bit-exact
+// software FPU and a Linux-like kernel (signals, threads, LD_PRELOAD
+// interposition) — the protocol, configuration surface, overheads, and
+// failure modes are the paper's.
+//
+// Quick start:
+//
+//	prog := fpspy.NewProgram("demo")
+//	// ... emit instructions (see examples/quickstart) ...
+//	res, err := fpspy.Run(prog.Build(), fpspy.Options{
+//		Config: fpspy.Config{Mode: fpspy.ModeIndividual},
+//	})
+//	for _, rec := range res.MustRecords() { ... }
+package fpspy
+
+import (
+	"fmt"
+
+	"repro/internal/adaptive"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/softfloat"
+	"repro/internal/trace"
+)
+
+// Re-exported configuration types. Config is FPSpy's entire interface,
+// mirroring the paper's environment variables.
+type (
+	// Config selects mode, filtering, and sampling (Figure 2's FPE_*).
+	Config = core.Config
+	// Mode is aggregate vs individual operation.
+	Mode = core.Mode
+	// Record is one individual-mode trace record.
+	Record = trace.Record
+	// Aggregate is one aggregate-mode per-thread record.
+	Aggregate = trace.Aggregate
+	// Flags is a set of IEEE 754 condition codes in x64 MXCSR layout.
+	Flags = softfloat.Flags
+	// Program is an assembled guest program.
+	Program = isa.Program
+	// Builder assembles guest programs.
+	Builder = isa.Builder
+	// Store collects traces across processes and threads.
+	Store = core.Store
+	// ThreadKey identifies one traced thread.
+	ThreadKey = core.ThreadKey
+)
+
+// Re-exported mode and flag constants.
+const (
+	ModeAggregate  = core.ModeAggregate
+	ModeIndividual = core.ModeIndividual
+
+	FlagInvalid      = softfloat.FlagInvalid
+	FlagDenormal     = softfloat.FlagDenormal
+	FlagDivideByZero = softfloat.FlagDivideByZero
+	FlagOverflow     = softfloat.FlagOverflow
+	FlagUnderflow    = softfloat.FlagUnderflow
+	FlagInexact      = softfloat.FlagInexact
+	AllEvents        = core.AllEvents
+)
+
+// NewProgram returns a builder for a guest program.
+func NewProgram(name string) *Builder { return isa.NewBuilder(name) }
+
+// Options configures a Run.
+type Options struct {
+	// Config is FPSpy's configuration. Leave Disable set and Mode zero
+	// to run the program without FPSpy attached (the baseline).
+	Config Config
+	// NoSpy runs without FPSpy in LD_PRELOAD at all.
+	NoSpy bool
+	// MemBytes sizes guest memory (default 16 MiB).
+	MemBytes int
+	// MaxSteps bounds execution (default 500M instructions).
+	MaxSteps uint64
+	// Env adds extra environment variables to the guest.
+	Env map[string]string
+	// CostModel overrides the kernel cycle cost model.
+	CostModel *kernel.CostModel
+}
+
+// Result is the outcome of running a program under (or without) FPSpy.
+type Result struct {
+	// Store holds every trace FPSpy produced.
+	Store *Store
+	// Steps is the total retired instruction count.
+	Steps uint64
+	// UserCycles and SysCycles aggregate over all tasks of the initial
+	// process.
+	UserCycles, SysCycles uint64
+	// WallCycles is the kernel's wall clock at completion.
+	WallCycles uint64
+	// ExitCode is the initial process's exit status.
+	ExitCode int
+	// Kern exposes the kernel for advanced inspection.
+	Kern *kernel.Kernel
+	// Proc is the initial process.
+	Proc *kernel.Process
+}
+
+// Run executes prog to completion under the simulated kernel, with FPSpy
+// attached via LD_PRELOAD unless opts.NoSpy is set.
+func Run(prog *Program, opts Options) (*Result, error) {
+	if opts.MemBytes == 0 {
+		opts.MemBytes = 16 << 20
+	}
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 500_000_000
+	}
+	k := kernel.New()
+	if opts.CostModel != nil {
+		k.Cost = *opts.CostModel
+	}
+	store := core.NewStore()
+	env := map[string]string{}
+	for key, v := range opts.Env {
+		env[key] = v
+	}
+	if !opts.NoSpy {
+		k.RegisterPreload(core.PreloadName, core.Factory(store))
+		for key, v := range opts.Config.EnvVars() {
+			env[key] = v
+		}
+	}
+	p, err := k.Spawn(prog, opts.MemBytes, env)
+	if err != nil {
+		return nil, err
+	}
+	steps := k.Run(opts.MaxSteps)
+	if !p.Exited {
+		return nil, fmt.Errorf("fpspy: %s did not finish within %d steps", prog.Name, opts.MaxSteps)
+	}
+	user, sys := p.ProcessTimes()
+	return &Result{
+		Store:      store,
+		Steps:      steps,
+		UserCycles: user,
+		SysCycles:  sys,
+		WallCycles: k.Cycles,
+		ExitCode:   p.ExitCode,
+		Kern:       k,
+		Proc:       p,
+	}, nil
+}
+
+// MitigationStats aggregates what adaptive precision did during a
+// mitigated run.
+type MitigationStats = adaptive.Stats
+
+// RunMitigated executes prog with the Section 6 adaptive-precision
+// object in LD_PRELOAD instead of FPSpy: scalar binary64 rounding
+// instructions are trap-and-emulated against a software FPU of the
+// given mantissa precision, with results written back through the
+// signal context.
+func RunMitigated(prog *Program, prec uint, opts Options) (*Result, *MitigationStats, error) {
+	if opts.MemBytes == 0 {
+		opts.MemBytes = 16 << 20
+	}
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 500_000_000
+	}
+	k := kernel.New()
+	if opts.CostModel != nil {
+		k.Cost = *opts.CostModel
+	}
+	stats := &MitigationStats{}
+	k.RegisterPreload(adaptive.PreloadName, adaptive.Factory(prec, stats))
+	env := map[string]string{"LD_PRELOAD": adaptive.PreloadName}
+	for key, v := range opts.Env {
+		env[key] = v
+	}
+	p, err := k.Spawn(prog, opts.MemBytes, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	steps := k.Run(opts.MaxSteps)
+	if !p.Exited {
+		return nil, nil, fmt.Errorf("fpspy: %s did not finish within %d steps", prog.Name, opts.MaxSteps)
+	}
+	user, sys := p.ProcessTimes()
+	return &Result{
+		Store:      core.NewStore(),
+		Steps:      steps,
+		UserCycles: user,
+		SysCycles:  sys,
+		WallCycles: k.Cycles,
+		ExitCode:   p.ExitCode,
+		Kern:       k,
+		Proc:       p,
+	}, stats, nil
+}
+
+// Aggregates returns the aggregate-mode records.
+func (r *Result) Aggregates() []Aggregate { return r.Store.Aggregates() }
+
+// Records returns all individual-mode records across threads.
+func (r *Result) Records() ([]Record, error) { return r.Store.AllRecords() }
+
+// MustRecords is Records, panicking on decode failure (for examples).
+func (r *Result) MustRecords() []Record {
+	recs, err := r.Records()
+	if err != nil {
+		panic(err)
+	}
+	return recs
+}
+
+// EventSet ORs all condition codes observed, from whichever mode ran.
+func (r *Result) EventSet() Flags {
+	var f Flags
+	for _, a := range r.Store.Aggregates() {
+		f |= a.Flags
+	}
+	recs, err := r.Records()
+	if err == nil {
+		for i := range recs {
+			f |= recs[i].Raised
+		}
+	}
+	return f
+}
+
+// Mnemonic returns the instruction mnemonic for a trace record (the
+// paper's analysis scripts decode instruction bytes; the simulator keeps
+// the opcode in the record).
+func Mnemonic(rec *Record) string {
+	return isa.Opcode(rec.Opcode).String()
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/softfloat"
+	"repro/internal/trace"
+)
+
+func mkRecs(spec map[string]int) []trace.Record {
+	var out []trace.Record
+	for mnem, n := range spec {
+		op, ok := isa.OpcodeByName(mnem)
+		if !ok {
+			panic("bad mnemonic " + mnem)
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, trace.Record{Opcode: uint16(op), Rip: uint64(0x400000 + int(op)*4)})
+		}
+	}
+	return out
+}
+
+func TestRankByFormOrdersDescending(t *testing.T) {
+	recs := mkRecs(map[string]int{"mulsd": 50, "addsd": 100, "divsd": 10})
+	r := RankByForm(recs)
+	if len(r) != 3 {
+		t.Fatalf("len = %d", len(r))
+	}
+	if r[0].Key != "addsd" || r[0].Count != 100 {
+		t.Errorf("top = %+v", r[0])
+	}
+	if r[2].Key != "divsd" {
+		t.Errorf("bottom = %+v", r[2])
+	}
+	if TotalEvents(r) != 160 {
+		t.Errorf("total = %d", TotalEvents(r))
+	}
+}
+
+func TestCoverageCount(t *testing.T) {
+	entries := []RankEntry{{"a", 990}, {"b", 5}, {"c", 5}}
+	if got := CoverageCount(entries, 0.99); got != 1 {
+		t.Errorf("coverage(0.99) = %d, want 1", got)
+	}
+	if got := CoverageCount(entries, 1.0); got != 3 {
+		t.Errorf("coverage(1.0) = %d, want 3", got)
+	}
+	if got := CoverageCount(nil, 0.5); got != 0 {
+		t.Errorf("coverage(empty) = %d", got)
+	}
+}
+
+func TestRankByAddress(t *testing.T) {
+	recs := []trace.Record{
+		{Rip: 0x400010}, {Rip: 0x400010}, {Rip: 0x400020},
+	}
+	r := RankByAddress(recs)
+	if len(r) != 2 || r[0].Key != "0x400010" || r[0].Count != 2 {
+		t.Errorf("rank = %+v", r)
+	}
+}
+
+func TestRateSeries(t *testing.T) {
+	hz := 1000.0 // 1000 cycles per second for easy numbers
+	recs := []trace.Record{
+		{Time: 100}, {Time: 200}, {Time: 900}, // second 0: 3 events
+		{Time: 1500}, // second 1: 1 event
+	}
+	pts := RateSeries(recs, 1.0, hz)
+	if len(pts) != 2 {
+		t.Fatalf("bins = %d", len(pts))
+	}
+	if pts[0].EventsPerSec != 3 || pts[1].EventsPerSec != 1 {
+		t.Errorf("rates = %+v", pts)
+	}
+	if RateSeries(nil, 1, hz) != nil {
+		t.Error("empty input should yield nil")
+	}
+}
+
+func TestCumulative(t *testing.T) {
+	recs := []trace.Record{{Time: 300}, {Time: 100}, {Time: 200}}
+	pts := Cumulative(recs, 100)
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].TimeSec != 1 || pts[0].Count != 1 || pts[2].Count != 3 {
+		t.Errorf("cumulative = %+v", pts)
+	}
+}
+
+func TestFilterEvent(t *testing.T) {
+	recs := []trace.Record{
+		{Event: softfloat.FlagInexact},
+		{Event: softfloat.FlagInvalid},
+		{Event: softfloat.FlagInexact},
+	}
+	if got := len(FilterEvent(recs, softfloat.FlagInexact)); got != 2 {
+		t.Errorf("filtered = %d", got)
+	}
+}
+
+func TestFormsAcrossCodes(t *testing.T) {
+	byCode := map[string][]trace.Record{
+		"alpha": mkRecs(map[string]int{"addsd": 3, "mulsd": 1}),
+		"beta":  mkRecs(map[string]int{"addsd": 2, "vdpps": 4}),
+	}
+	u := FormsAcrossCodes(byCode)
+	if got := u.CodesByForm["addsd"]; len(got) != 2 {
+		t.Errorf("addsd codes = %v", got)
+	}
+	if got := u.UniqueTo["beta"]; len(got) != 1 || got[0] != "vdpps" {
+		t.Errorf("beta unique = %v", got)
+	}
+	if got := u.UniqueTo["alpha"]; len(got) != 1 || got[0] != "mulsd" {
+		t.Errorf("alpha unique = %v", got)
+	}
+}
+
+func TestCountByEvent(t *testing.T) {
+	recs := []trace.Record{
+		{Event: softfloat.FlagInexact},
+		{Event: softfloat.FlagInexact},
+		{Event: softfloat.FlagInvalid},
+		{Event: softfloat.FlagDivideByZero},
+	}
+	counts := CountByEvent(recs)
+	if len(counts) != 3 {
+		t.Fatalf("classes = %d", len(counts))
+	}
+	// Priority order: Invalid first, Inexact last.
+	if counts[0].Event != softfloat.FlagInvalid || counts[0].Count != 1 {
+		t.Errorf("first = %+v", counts[0])
+	}
+	if counts[2].Event != softfloat.FlagInexact || counts[2].Count != 2 {
+		t.Errorf("last = %+v", counts[2])
+	}
+	if CountByEvent(nil) != nil {
+		t.Error("empty input should yield nil")
+	}
+}
+
+func TestByThreadAndSpan(t *testing.T) {
+	recs := []trace.Record{
+		{TID: 1, Time: 50}, {TID: 2, Time: 10}, {TID: 1, Time: 90},
+	}
+	by := ByThread(recs)
+	if len(by) != 2 || len(by[1]) != 2 || len(by[2]) != 1 {
+		t.Errorf("by thread = %v", by)
+	}
+	first, last := Span(recs)
+	if first != 10 || last != 90 {
+		t.Errorf("span = %d..%d", first, last)
+	}
+	if f, l := Span(nil); f != 0 || l != 0 {
+		t.Error("empty span")
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/softfloat"
+)
+
+func TestParseConfigDefaults(t *testing.T) {
+	cfg, err := ParseConfig(map[string]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Mode != ModeAggregate {
+		t.Errorf("default mode = %v", cfg.Mode)
+	}
+	if cfg.ExceptList != AllEvents {
+		t.Errorf("default except list = %v", cfg.ExceptList)
+	}
+	if !cfg.VirtualTimer {
+		t.Error("default timer should be virtual")
+	}
+	if cfg.Disable || cfg.Aggressive || cfg.Poisson {
+		t.Error("default booleans set")
+	}
+}
+
+func TestParseConfigFull(t *testing.T) {
+	cfg, err := ParseConfig(map[string]string{
+		"FPE_MODE":        "individual",
+		"FPE_AGGRESSIVE":  "yes",
+		"FPE_EXCEPT_LIST": "divide, invalid ,overflow",
+		"FPE_MAXCOUNT":    "1000",
+		"FPE_SAMPLE":      "5:100",
+		"FPE_POISSON":     "yes",
+		"FPE_TIMER":       "real",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Mode != ModeIndividual || !cfg.Aggressive || !cfg.Poisson {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	want := softfloat.FlagDivideByZero | softfloat.FlagInvalid | softfloat.FlagOverflow
+	if cfg.ExceptList != want {
+		t.Errorf("except list = %v, want %v", cfg.ExceptList, want)
+	}
+	if cfg.MaxCount != 1000 || cfg.SampleOnUS != 5 || cfg.SampleOffUS != 100 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if cfg.VirtualTimer {
+		t.Error("timer should be real")
+	}
+}
+
+func TestParseConfigSubsample(t *testing.T) {
+	cfg, err := ParseConfig(map[string]string{"FPE_SAMPLE": "10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SampleEvery != 10 || cfg.SampleOnUS != 0 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	bad := []map[string]string{
+		{"FPE_MODE": "sideways"},
+		{"FPE_TIMER": "sundial"},
+		{"FPE_EXCEPT_LIST": "divide,nonsense"},
+		{"FPE_MAXCOUNT": "many"},
+		{"FPE_SAMPLE": "0"},
+		{"FPE_SAMPLE": "5:"},
+		{"FPE_SAMPLE": "0:100"},
+	}
+	for _, env := range bad {
+		if _, err := ParseConfig(env); err == nil {
+			t.Errorf("no error for %v", env)
+		}
+	}
+}
+
+func TestParseConfigEventAliases(t *testing.T) {
+	cfg, err := ParseConfig(map[string]string{"FPE_EXCEPT_LIST": "rounding,dividebyzero"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := softfloat.FlagInexact | softfloat.FlagDivideByZero
+	if cfg.ExceptList != want {
+		t.Errorf("aliases = %v, want %v", cfg.ExceptList, want)
+	}
+	cfg, err = ParseConfig(map[string]string{"FPE_EXCEPT_LIST": "all"})
+	if err != nil || cfg.ExceptList != AllEvents {
+		t.Errorf("all = %v (%v)", cfg.ExceptList, err)
+	}
+}
+
+func TestEnvVarsRoundTrip(t *testing.T) {
+	cfgs := []Config{
+		{Mode: ModeAggregate, ExceptList: AllEvents, VirtualTimer: true},
+		{Mode: ModeIndividual, ExceptList: AllEvents, VirtualTimer: true},
+		{Mode: ModeIndividual, ExceptList: AllEvents &^ softfloat.FlagInexact, VirtualTimer: true},
+		{Mode: ModeIndividual, ExceptList: AllEvents, Aggressive: true, MaxCount: 7, SampleEvery: 3, VirtualTimer: true},
+		{Mode: ModeIndividual, ExceptList: AllEvents, SampleOnUS: 5, SampleOffUS: 100, Poisson: true, VirtualTimer: true},
+		{Mode: ModeIndividual, ExceptList: AllEvents, VirtualTimer: false},
+		{Mode: ModeAggregate, ExceptList: AllEvents, Disable: true, VirtualTimer: true},
+	}
+	for _, in := range cfgs {
+		env := in.EnvVars()
+		if env["LD_PRELOAD"] != PreloadName {
+			t.Errorf("LD_PRELOAD = %q", env["LD_PRELOAD"])
+		}
+		out, err := ParseConfig(env)
+		if err != nil {
+			t.Fatalf("%+v: %v", in, err)
+		}
+		if out != in {
+			t.Errorf("round trip:\n in  %+v\n out %+v", in, out)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package core
+
+import "testing"
+
+// FuzzParseConfig throws arbitrary environment values at the parser: it
+// must never panic, and any accepted configuration must survive an
+// EnvVars round trip.
+func FuzzParseConfig(f *testing.F) {
+	f.Add("individual", "yes", "divide,inexact", "100", "5:100", "yes", "virtual")
+	f.Add("aggregate", "", "", "", "10", "", "real")
+	f.Add("", "", "all", "0", "", "no", "")
+	f.Add("bogus", "maybe", "nonsense", "-1", ":", "ja", "sundial")
+
+	f.Fuzz(func(t *testing.T, mode, aggr, list, maxc, sample, poisson, timer string) {
+		env := map[string]string{
+			"FPE_MODE": mode, "FPE_AGGRESSIVE": aggr, "FPE_EXCEPT_LIST": list,
+			"FPE_MAXCOUNT": maxc, "FPE_SAMPLE": sample, "FPE_POISSON": poisson,
+			"FPE_TIMER": timer,
+		}
+		cfg, err := ParseConfig(env)
+		if err != nil {
+			return
+		}
+		back, err := ParseConfig(cfg.EnvVars())
+		if err != nil {
+			t.Fatalf("accepted config failed round trip: %v (%+v)", err, cfg)
+		}
+		if back != cfg {
+			t.Fatalf("round trip changed config:\n in  %+v\n out %+v", cfg, back)
+		}
+	})
+}

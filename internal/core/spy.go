@@ -1,0 +1,440 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/mxcsr"
+	"repro/internal/trace"
+)
+
+// PreloadName is the object name FPSpy is registered under; putting it in
+// LD_PRELOAD attaches FPSpy to a process.
+const PreloadName = "fpspy.so"
+
+// CyclesPerMicrosecond converts the paper's microsecond sampler settings
+// to simulated cycles (the testbed's 2.1 GHz Opterons).
+const CyclesPerMicrosecond = 2100
+
+// tsPhase is the per-thread state machine phase (the paper's Figure 5).
+type tsPhase uint8
+
+const (
+	awaitFPE tsPhase = iota
+	awaitTrap
+)
+
+// threadState is FPSpy's monitoring context for one thread.
+type threadState struct {
+	task  *kernel.Task
+	phase tsPhase
+	// seq numbers the thread's trace records.
+	seq uint64
+	// faults counts SIGFPEs handled (for 1-in-N subsampling).
+	faults uint64
+	// recorded counts records written (for FPE_MAXCOUNT).
+	recorded uint64
+	// samplerOn is the temporal sampler's current phase.
+	samplerOn bool
+	// done is set when MaxCount is reached: capture is over and the
+	// thread runs with everything masked (zero further overhead).
+	done bool
+	rng  *rand.Rand
+}
+
+// Spy is one process's FPSpy instance.
+type Spy struct {
+	proc    *kernel.Process
+	cfg     Config
+	store   *Store
+	threads map[int]*threadState
+	// disabled is set when FPSpy has gotten out of the way.
+	disabled bool
+	// inert is set by FPE_DISABLE or a config parse failure: FPSpy loads
+	// but touches nothing.
+	inert bool
+	// saved dispositions, restored when stepping aside.
+	prevFPE, prevTrap, prevTimer *kernel.SigAction
+	// ConfigErr records a configuration parse failure.
+	ConfigErr error
+}
+
+// Factory returns the preload object factory for FPSpy, writing traces to
+// store. Register the result with kernel.RegisterPreload(PreloadName, ...).
+func Factory(store *Store) kernel.ObjectFactory {
+	return func(p *kernel.Process) *kernel.Object {
+		s := &Spy{proc: p, store: store, threads: make(map[int]*threadState)}
+		return s.object()
+	}
+}
+
+// timerSignal is the signal the temporal sampler uses.
+func (s *Spy) timerSignal() kernel.Signal {
+	if s.cfg.VirtualTimer {
+		return kernel.SIGVTALRM
+	}
+	return kernel.SIGALRM
+}
+
+func (s *Spy) timerKind() kernel.TimerKind {
+	if s.cfg.VirtualTimer {
+		return kernel.TimerVirtual
+	}
+	return kernel.TimerReal
+}
+
+func (s *Spy) temporalSampling() bool { return s.cfg.SampleOnUS > 0 }
+
+// object assembles the preload Object: interposed symbols plus
+// constructor/destructor hooks.
+func (s *Spy) object() *kernel.Object {
+	obj := &kernel.Object{Name: PreloadName, Syms: map[string]kernel.Symbol{}}
+	obj.Constructor = s.construct
+	obj.Destructor = s.destruct
+	obj.ForkChild = s.forkChild
+
+	// Process and thread management: follow forks and thread creations.
+	obj.Syms["fork"] = s.passThrough("fork")
+	obj.Syms["clone"] = s.wrapThreadCreate("clone")
+	obj.Syms["pthread_create"] = s.wrapThreadCreate("pthread_create")
+	obj.Syms["pthread_exit"] = s.passThrough("pthread_exit")
+
+	// Signal hooking: detect the application using FPSpy's signals.
+	obj.Syms["signal"] = s.wrapSignal("signal")
+	obj.Syms["sigaction"] = s.wrapSignal("sigaction")
+
+	// Floating point environment control: any use means FPSpy must get
+	// out of the way (the feenableexcept-rightwards set of Figure 8).
+	for _, sym := range []string{
+		"feenableexcept", "fedisableexcept", "fegetexcept", "feclearexcept",
+		"fegetexceptflag", "feraiseexcept", "fesetexceptflag", "fetestexcept",
+		"fegetround", "fesetround", "fegetenv", "feholdexcept", "fesetenv",
+		"feupdateenv",
+	} {
+		obj.Syms[sym] = s.wrapFE(sym)
+	}
+	return obj
+}
+
+// next resolves the real implementation below FPSpy in the chain.
+func (s *Spy) next(sym string) kernel.Symbol {
+	return s.proc.Linker.ResolveAfter(PreloadName, sym)
+}
+
+func (s *Spy) passThrough(sym string) kernel.Symbol {
+	return func(k *kernel.Kernel, t *kernel.Task) {
+		if real := s.next(sym); real != nil {
+			real(k, t)
+		}
+	}
+}
+
+// construct is FPSpy's linker constructor: it runs before main() on the
+// initial thread.
+func (s *Spy) construct(k *kernel.Kernel, t *kernel.Task) {
+	cfg, err := ParseConfig(s.proc.Env)
+	if err != nil {
+		s.ConfigErr = err
+		s.inert = true
+		return
+	}
+	s.cfg = cfg
+	if cfg.Disable {
+		s.inert = true
+		return
+	}
+	if cfg.Mode == ModeIndividual {
+		s.installHandlers(k)
+	}
+	s.threadInit(k, t)
+}
+
+// installHandlers hooks SIGFPE, the single-event completion signal
+// (SIGTRAP for the TF protocol, SIGILL for the breakpoint protocol) and
+// the sampler timer signal, saving the previous dispositions for a
+// graceful step-aside.
+func (s *Spy) installHandlers(k *kernel.Kernel) {
+	s.prevFPE = k.SetSigAction(s.proc, kernel.SIGFPE, &kernel.SigAction{Host: s.onSIGFPE})
+	s.prevTrap = k.SetSigAction(s.proc, s.stepSignal(), &kernel.SigAction{Host: s.onSIGTRAP})
+	if s.temporalSampling() {
+		s.prevTimer = k.SetSigAction(s.proc, s.timerSignal(), &kernel.SigAction{Host: s.onTimer})
+	}
+}
+
+// stepSignal is the signal that marks the faulting instruction's
+// completed re-execution.
+func (s *Spy) stepSignal() kernel.Signal {
+	if s.cfg.Breakpoints {
+		return kernel.SIGILL
+	}
+	return kernel.SIGTRAP
+}
+
+// threadInit starts monitoring a thread (the constructor for the initial
+// thread; the pthread_create thunk for the rest).
+func (s *Spy) threadInit(k *kernel.Kernel, t *kernel.Task) {
+	if s.inert || s.disabled {
+		return
+	}
+	ts := &threadState{task: t, samplerOn: true, rng: rand.New(rand.NewSource(int64(t.TID)*7919 + 13))}
+	s.threads[t.TID] = ts
+	t.OnExit = append(t.OnExit, s.threadTeardown)
+
+	cpu := &t.M.CPU
+	cpu.MXCSR.ClearFlags()
+	if s.cfg.Mode == ModeIndividual {
+		cpu.MXCSR.Unmask(s.cfg.ExceptList)
+		if s.temporalSampling() {
+			t.SetTimer(s.timerKind(), s.period(ts, s.cfg.SampleOnUS))
+		}
+	}
+}
+
+// period draws the next sampler period in timer units.
+func (s *Spy) period(ts *threadState, meanUS uint64) uint64 {
+	us := float64(meanUS)
+	if s.cfg.Poisson {
+		us = ts.rng.ExpFloat64() * float64(meanUS)
+		if us < 1 {
+			us = 1
+		}
+	}
+	if s.cfg.VirtualTimer {
+		// Virtual time is instruction time: one instruction per cycle in
+		// the simulator's cost model.
+		return uint64(us * CyclesPerMicrosecond)
+	}
+	return uint64(us * CyclesPerMicrosecond)
+}
+
+// threadTeardown completes a thread's trace at exit.
+func (s *Spy) threadTeardown(k *kernel.Kernel, t *kernel.Task) {
+	if s.inert {
+		return
+	}
+	if s.cfg.Mode == ModeAggregate {
+		agg := trace.Aggregate{
+			PID:          s.proc.PID,
+			TID:          t.TID,
+			Instructions: t.M.Retired,
+			Aborted:      s.disabled,
+		}
+		if !s.disabled {
+			agg.Flags = t.M.CPU.MXCSR.Flags()
+		}
+		s.store.addAggregate(agg)
+		return
+	}
+	if ts := s.threads[t.TID]; ts != nil {
+		key := ThreadKey{PID: s.proc.PID, TID: t.TID}
+		_ = s.store.writer(key).Flush()
+	}
+}
+
+// destruct runs after the last task exits; all per-thread teardown has
+// already happened via OnExit hooks.
+func (s *Spy) destruct(k *kernel.Kernel, t *kernel.Task) {}
+
+// forkChild re-initializes FPSpy in a forked child (FPSpy's fork
+// interposition: the child inherits LD_PRELOAD and the FPE_* variables,
+// and its own FPSpy instance takes over).
+func (s *Spy) forkChild(k *kernel.Kernel, parent, child *kernel.Task) {
+	s.construct(k, child)
+}
+
+// wrapThreadCreate interposes on pthread_create/clone: the application's
+// start routine is wrapped in a thunk that initializes monitoring before
+// the routine runs and tears it down after.
+func (s *Spy) wrapThreadCreate(sym string) kernel.Symbol {
+	return func(k *kernel.Kernel, t *kernel.Task) {
+		real := s.next(sym)
+		if real == nil {
+			return
+		}
+		real(k, t)
+		if s.inert || s.disabled {
+			return
+		}
+		newTID := int(t.M.CPU.R[isa.R1])
+		for _, nt := range s.proc.Tasks {
+			if nt.TID == newTID {
+				s.threadInit(k, nt)
+				break
+			}
+		}
+	}
+}
+
+// wrapSignal interposes on signal/sigaction. If the application touches
+// the signals FPSpy itself relies on while in individual mode, FPSpy gets
+// out of the way — unless aggressive mode keeps it attached, in which
+// case the application's request is absorbed.
+func (s *Spy) wrapSignal(sym string) kernel.Symbol {
+	return func(k *kernel.Kernel, t *kernel.Task) {
+		sig := kernel.Signal(t.M.CPU.R[isa.R1])
+		mine := sig == kernel.SIGFPE || sig == s.stepSignal() ||
+			(s.temporalSampling() && sig == s.timerSignal())
+		if !s.inert && !s.disabled && s.cfg.Mode == ModeIndividual && mine {
+			if s.cfg.Aggressive {
+				// Aggressive mode: keep spying; report "previous handler
+				// was default" to the application.
+				t.M.CPU.R[isa.R1] = 0
+				return
+			}
+			s.stepAside(k)
+		}
+		if real := s.next(sym); real != nil {
+			real(k, t)
+		}
+	}
+}
+
+// wrapFE interposes on the fe* floating point environment family. Any
+// dynamic use means the application manipulates the state FPSpy depends
+// on, so FPSpy gets out of the way first and then lets the call through.
+func (s *Spy) wrapFE(sym string) kernel.Symbol {
+	return func(k *kernel.Kernel, t *kernel.Task) {
+		if !s.inert && !s.disabled {
+			s.stepAside(k)
+		}
+		if real := s.next(sym); real != nil {
+			real(k, t)
+		}
+	}
+}
+
+// stepAside gracefully untangles FPSpy: restore the saved signal
+// dispositions, return every monitored thread's floating point control
+// state to the masked default, disarm sampler timers, and stop touching
+// anything. The application keeps running.
+func (s *Spy) stepAside(k *kernel.Kernel) {
+	if s.disabled || s.inert {
+		return
+	}
+	s.disabled = true
+	s.store.StepAsides++
+	if s.cfg.Mode != ModeIndividual {
+		return
+	}
+	k.SetSigAction(s.proc, kernel.SIGFPE, s.prevFPE)
+	k.SetSigAction(s.proc, s.stepSignal(), s.prevTrap)
+	if s.temporalSampling() {
+		k.SetSigAction(s.proc, s.timerSignal(), s.prevTimer)
+	}
+	for _, ts := range s.threads {
+		cpu := &ts.task.M.CPU
+		cpu.MXCSR.Mask(AllEvents)
+		cpu.TF = false
+		// Restore any instruction still stubbed by the breakpoint
+		// protocol: leaving one behind would kill the application later.
+		ts.task.M.Breakpoints = nil
+		ts.task.SetTimer(s.timerKind(), 0)
+	}
+}
+
+// onSIGFPE is the heart of individual mode: log the event, then arrange
+// for the faulting instruction to execute exactly once (mask + TF) — the
+// paper's AWAIT_FPE -> AWAIT_TRAP transition.
+func (s *Spy) onSIGFPE(k *kernel.Kernel, t *kernel.Task, info *kernel.SigInfo, mc *kernel.MContext) {
+	ts := s.threads[t.TID]
+	if ts == nil || s.disabled {
+		return
+	}
+	ts.faults++
+	s.store.Faults++
+
+	if !ts.done && (s.cfg.SampleEvery == 0 || ts.faults%s.cfg.SampleEvery == 0) {
+		idx := t.M.Prog.IndexOf(info.Addr)
+		rec := trace.Record{
+			Time:   t.UserCycles + t.SysCycles,
+			Rip:    info.Addr,
+			Rsp:    mc.CPU.R[isa.SP],
+			MXCSR:  uint32(mc.CPU.MXCSR),
+			TID:    uint32(t.TID),
+			Seq:    ts.seq,
+			Event:  mxcsr.Priority(info.Unmasked),
+			Raised: info.Raised,
+		}
+		if idx >= 0 {
+			enc := t.M.Prog.Encode(idx)
+			copy(rec.InstrWord[:], enc[:])
+			rec.Opcode = uint16(t.M.Prog.Insts[idx].Op)
+		}
+		key := ThreadKey{PID: s.proc.PID, TID: t.TID}
+		_ = s.store.writer(key).Append(&rec)
+		ts.seq++
+		ts.recorded++
+		s.store.Recorded++
+		if s.cfg.MaxCount > 0 && ts.recorded >= s.cfg.MaxCount {
+			ts.done = true
+		}
+	}
+
+	mc.CPU.MXCSR.ClearFlags()
+	mc.CPU.MXCSR.Mask(AllEvents)
+	if s.cfg.Breakpoints {
+		// Section 3.8 alternative: stub the next instruction. The guest
+		// ISA is fixed-length, so "next" is trivial — exactly the
+		// simplification the paper notes for RISC targets.
+		t.M.SetBreakpoint(info.Addr + isa.InstBytes)
+	} else {
+		mc.CPU.TF = true
+	}
+	ts.phase = awaitTrap
+}
+
+// onSIGTRAP completes the single-step: the faulting instruction has
+// executed once; clear its condition codes and re-arm (or stay dormant
+// when sampling is off or capture is done).
+func (s *Spy) onSIGTRAP(k *kernel.Kernel, t *kernel.Task, info *kernel.SigInfo, mc *kernel.MContext) {
+	ts := s.threads[t.TID]
+	if ts == nil || s.disabled {
+		return
+	}
+	if ts.phase != awaitTrap {
+		// A trap we did not arm: something else is single-stepping; the
+		// conservative response is to get out of the way.
+		s.stepAside(k)
+		return
+	}
+	mc.CPU.MXCSR.ClearFlags()
+	if s.cfg.Breakpoints {
+		t.M.ClearBreakpoint(info.Addr)
+	} else {
+		mc.CPU.TF = false
+	}
+	ts.phase = awaitFPE
+	if !ts.done && ts.samplerOn {
+		mc.CPU.MXCSR.Unmask(s.cfg.ExceptList)
+	}
+}
+
+// onTimer flips the temporal sampler between its on and off phases,
+// drawing the next period (exponential under Poisson sampling — the
+// PASTA property makes the on-periods a valid random sample).
+func (s *Spy) onTimer(k *kernel.Kernel, t *kernel.Task, info *kernel.SigInfo, mc *kernel.MContext) {
+	ts := s.threads[t.TID]
+	if ts == nil || s.disabled {
+		return
+	}
+	ts.samplerOn = !ts.samplerOn
+	var mean uint64
+	if ts.samplerOn {
+		mean = s.cfg.SampleOnUS
+	} else {
+		mean = s.cfg.SampleOffUS
+	}
+	t.SetTimer(s.timerKind(), s.period(ts, mean))
+	if ts.phase == awaitFPE && !ts.done {
+		if ts.samplerOn {
+			mc.CPU.MXCSR.ClearFlags()
+			mc.CPU.MXCSR.Unmask(s.cfg.ExceptList)
+		} else {
+			mc.CPU.MXCSR.Mask(AllEvents)
+		}
+	}
+}
+
+// Disabled reports whether this instance has stepped aside.
+func (s *Spy) Disabled() bool { return s.disabled }

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// ThreadKey identifies one traced thread.
+type ThreadKey struct {
+	// PID and TID identify the thread within the simulated kernel.
+	PID, TID int
+}
+
+// String renders the key the way FPSpy names trace files.
+func (k ThreadKey) String() string { return fmt.Sprintf("%d.%d.fpemon", k.PID, k.TID) }
+
+// Store collects FPSpy's output: one binary individual-mode trace per
+// thread and one aggregate record per thread. It stands in for the
+// per-thread log files of the real tool.
+type Store struct {
+	buffers    map[ThreadKey]*bytes.Buffer
+	writers    map[ThreadKey]*trace.Writer
+	aggregates []trace.Aggregate
+	// Faults counts every SIGFPE FPSpy handled (recorded or not).
+	Faults uint64
+	// Recorded counts records actually written.
+	Recorded uint64
+	// StepAsides counts processes where FPSpy got out of the way.
+	StepAsides int
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{
+		buffers: make(map[ThreadKey]*bytes.Buffer),
+		writers: make(map[ThreadKey]*trace.Writer),
+	}
+}
+
+// writer returns (creating if needed) the trace writer for a thread.
+func (s *Store) writer(key ThreadKey) *trace.Writer {
+	if w, ok := s.writers[key]; ok {
+		return w
+	}
+	buf := &bytes.Buffer{}
+	w := trace.NewWriter(buf)
+	s.buffers[key] = buf
+	s.writers[key] = w
+	return w
+}
+
+// addAggregate appends a thread's aggregate record.
+func (s *Store) addAggregate(a trace.Aggregate) {
+	s.aggregates = append(s.aggregates, a)
+}
+
+// Aggregates returns all aggregate-mode records, ordered by pid then tid.
+func (s *Store) Aggregates() []trace.Aggregate {
+	out := append([]trace.Aggregate(nil), s.aggregates...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PID != out[j].PID {
+			return out[i].PID < out[j].PID
+		}
+		return out[i].TID < out[j].TID
+	})
+	return out
+}
+
+// Threads lists the threads with individual-mode traces.
+func (s *Store) Threads() []ThreadKey {
+	keys := make([]ThreadKey, 0, len(s.buffers))
+	for k := range s.buffers {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].PID != keys[j].PID {
+			return keys[i].PID < keys[j].PID
+		}
+		return keys[i].TID < keys[j].TID
+	})
+	return keys
+}
+
+// Records decodes the trace of one thread.
+func (s *Store) Records(key ThreadKey) ([]trace.Record, error) {
+	w, ok := s.writers[key]
+	if !ok {
+		return nil, fmt.Errorf("fpspy: no trace for %v", key)
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return trace.Decode(s.buffers[key].Bytes())
+}
+
+// AllRecords decodes and concatenates every thread's trace.
+func (s *Store) AllRecords() ([]trace.Record, error) {
+	var out []trace.Record
+	for _, key := range s.Threads() {
+		recs, err := s.Records(key)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, recs...)
+	}
+	return out, nil
+}
+
+// RawTrace returns the encoded bytes of one thread's trace (what would
+// be the on-disk file).
+func (s *Store) RawTrace(key ThreadKey) ([]byte, error) {
+	w, ok := s.writers[key]
+	if !ok {
+		return nil, fmt.Errorf("fpspy: no trace for %v", key)
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return s.buffers[key].Bytes(), nil
+}

@@ -1,0 +1,380 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+)
+
+// Builder assembles a Program with label-based control flow. It is the
+// "assembler" used by the workload kernels.
+type Builder struct {
+	name   string
+	base   uint64
+	insts  []Inst
+	fixups []fixup
+	bound  map[*Label]int
+	data   []byte
+}
+
+type fixup struct {
+	inst  int
+	label *Label
+	// addr resolves to the label's code address rather than its
+	// instruction index (for function pointers).
+	addr bool
+}
+
+// Label is a forward- or backward-referencable branch target.
+type Label struct {
+	name string
+}
+
+// NewBuilder creates a builder for a named program at the default code
+// base.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, base: DefaultCodeBase, bound: make(map[*Label]int)}
+}
+
+// Label creates a new unbound label.
+func (b *Builder) Label(name string) *Label { return &Label{name: name} }
+
+// Bind attaches a label to the next emitted instruction.
+func (b *Builder) Bind(l *Label) {
+	if _, ok := b.bound[l]; ok {
+		panic(fmt.Sprintf("isa: label %q bound twice", l.name))
+	}
+	b.bound[l] = len(b.insts)
+}
+
+// emit appends an instruction and returns its index.
+func (b *Builder) emit(i Inst) int {
+	b.insts = append(b.insts, i)
+	return len(b.insts) - 1
+}
+
+// Raw appends a fully-formed instruction.
+func (b *Builder) Raw(i Inst) { b.emit(i) }
+
+// Build resolves labels and returns the program. It panics on unbound
+// labels, which are always programming errors in kernels.
+func (b *Builder) Build() *Program {
+	for _, f := range b.fixups {
+		idx, ok := b.bound[f.label]
+		if !ok {
+			panic(fmt.Sprintf("isa: unbound label %q", f.label.name))
+		}
+		if f.addr {
+			b.insts[f.inst].Imm = int64(b.base + uint64(idx)*InstBytes)
+		} else {
+			b.insts[f.inst].Imm = int64(idx)
+		}
+	}
+	return &Program{
+		Name: b.name, Insts: b.insts, Base: b.base,
+		Data: b.data, DataBase: DefaultDataBase,
+	}
+}
+
+// Float64s places binary64 values in the data segment and returns their
+// load address.
+func (b *Builder) Float64s(vals ...float64) uint64 {
+	addr := DefaultDataBase + uint64(len(b.data))
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			b.data = append(b.data, byte(bits>>(8*i)))
+		}
+	}
+	return addr
+}
+
+// Float32s places binary32 values in the data segment and returns their
+// load address.
+func (b *Builder) Float32s(vals ...float32) uint64 {
+	addr := DefaultDataBase + uint64(len(b.data))
+	for _, v := range vals {
+		bits := math.Float32bits(v)
+		for i := 0; i < 4; i++ {
+			b.data = append(b.data, byte(bits>>(8*i)))
+		}
+	}
+	return addr
+}
+
+// Words places 64-bit integers in the data segment and returns their
+// load address.
+func (b *Builder) Words(vals ...uint64) uint64 {
+	addr := DefaultDataBase + uint64(len(b.data))
+	for _, v := range vals {
+		for i := 0; i < 8; i++ {
+			b.data = append(b.data, byte(v>>(8*i)))
+		}
+	}
+	return addr
+}
+
+// Zeros reserves n zeroed bytes in the data segment (8-byte aligned) and
+// returns their load address.
+func (b *Builder) Zeros(n int) uint64 {
+	for len(b.data)%8 != 0 {
+		b.data = append(b.data, 0)
+	}
+	addr := DefaultDataBase + uint64(len(b.data))
+	b.data = append(b.data, make([]byte, n)...)
+	return addr
+}
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.insts) }
+
+// --- system ---
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.emit(Inst{Op: OpNOP}) }
+
+// Hlt emits a halt, ending the thread.
+func (b *Builder) Hlt() { b.emit(Inst{Op: OpHLT}) }
+
+// CallC emits a call to a libc symbol routed through the dynamic linker.
+// Arguments are in r1..r6 by convention; the result is returned in r1.
+func (b *Builder) CallC(sym string) { b.emit(Inst{Op: OpCALLC, Sym: sym}) }
+
+// --- integer ---
+
+// Movi loads a 64-bit immediate.
+func (b *Builder) Movi(rd int, imm int64) { b.emit(Inst{Op: OpMOVI, Rd: uint8(rd), Imm: imm}) }
+
+// Mov copies an integer register.
+func (b *Builder) Mov(rd, rs int) { b.emit(Inst{Op: OpMOV, Rd: uint8(rd), Rs1: uint8(rs)}) }
+
+// Add emits rd = rs1 + rs2.
+func (b *Builder) Add(rd, rs1, rs2 int) {
+	b.emit(Inst{Op: OpADD, Rd: uint8(rd), Rs1: uint8(rs1), Rs2: uint8(rs2)})
+}
+
+// Addi emits rd = rs1 + imm.
+func (b *Builder) Addi(rd, rs1 int, imm int64) {
+	b.emit(Inst{Op: OpADDI, Rd: uint8(rd), Rs1: uint8(rs1), Imm: imm})
+}
+
+// Sub emits rd = rs1 - rs2.
+func (b *Builder) Sub(rd, rs1, rs2 int) {
+	b.emit(Inst{Op: OpSUB, Rd: uint8(rd), Rs1: uint8(rs1), Rs2: uint8(rs2)})
+}
+
+// Mulq emits rd = rs1 * rs2 (64-bit integer).
+func (b *Builder) Mulq(rd, rs1, rs2 int) {
+	b.emit(Inst{Op: OpMULQ, Rd: uint8(rd), Rs1: uint8(rs1), Rs2: uint8(rs2)})
+}
+
+// Divq emits rd = rs1 / rs2 (signed); division by zero halts the thread
+// with a machine fault.
+func (b *Builder) Divq(rd, rs1, rs2 int) {
+	b.emit(Inst{Op: OpDIVQ, Rd: uint8(rd), Rs1: uint8(rs1), Rs2: uint8(rs2)})
+}
+
+// Remq emits rd = rs1 % rs2 (signed).
+func (b *Builder) Remq(rd, rs1, rs2 int) {
+	b.emit(Inst{Op: OpREMQ, Rd: uint8(rd), Rs1: uint8(rs1), Rs2: uint8(rs2)})
+}
+
+// And emits rd = rs1 & rs2.
+func (b *Builder) And(rd, rs1, rs2 int) {
+	b.emit(Inst{Op: OpAND, Rd: uint8(rd), Rs1: uint8(rs1), Rs2: uint8(rs2)})
+}
+
+// Or emits rd = rs1 | rs2.
+func (b *Builder) Or(rd, rs1, rs2 int) {
+	b.emit(Inst{Op: OpOR, Rd: uint8(rd), Rs1: uint8(rs1), Rs2: uint8(rs2)})
+}
+
+// Xor emits rd = rs1 ^ rs2.
+func (b *Builder) Xor(rd, rs1, rs2 int) {
+	b.emit(Inst{Op: OpXOR, Rd: uint8(rd), Rs1: uint8(rs1), Rs2: uint8(rs2)})
+}
+
+// Shli emits rd = rs1 << imm.
+func (b *Builder) Shli(rd, rs1 int, imm int64) {
+	b.emit(Inst{Op: OpSHLI, Rd: uint8(rd), Rs1: uint8(rs1), Imm: imm})
+}
+
+// Shri emits rd = rs1 >> imm (logical).
+func (b *Builder) Shri(rd, rs1 int, imm int64) {
+	b.emit(Inst{Op: OpSHRI, Rd: uint8(rd), Rs1: uint8(rs1), Imm: imm})
+}
+
+// --- control flow ---
+
+func (b *Builder) branch(op Opcode, rs1, rs2 int, l *Label) {
+	idx := b.emit(Inst{Op: op, Rs1: uint8(rs1), Rs2: uint8(rs2)})
+	b.fixups = append(b.fixups, fixup{inst: idx, label: l})
+}
+
+// Lea loads the code address of a label into an integer register, for
+// use as a function or handler pointer.
+func (b *Builder) Lea(rd int, l *Label) {
+	idx := b.emit(Inst{Op: OpMOVI, Rd: uint8(rd)})
+	b.fixups = append(b.fixups, fixup{inst: idx, label: l, addr: true})
+}
+
+// Jmp emits an unconditional jump.
+func (b *Builder) Jmp(l *Label) { b.branch(OpJMP, 0, 0, l) }
+
+// Beq branches when rs1 == rs2.
+func (b *Builder) Beq(rs1, rs2 int, l *Label) { b.branch(OpBEQ, rs1, rs2, l) }
+
+// Bne branches when rs1 != rs2.
+func (b *Builder) Bne(rs1, rs2 int, l *Label) { b.branch(OpBNE, rs1, rs2, l) }
+
+// Blt branches when rs1 < rs2 (signed).
+func (b *Builder) Blt(rs1, rs2 int, l *Label) { b.branch(OpBLT, rs1, rs2, l) }
+
+// Bge branches when rs1 >= rs2 (signed).
+func (b *Builder) Bge(rs1, rs2 int, l *Label) { b.branch(OpBGE, rs1, rs2, l) }
+
+// Ble branches when rs1 <= rs2 (signed).
+func (b *Builder) Ble(rs1, rs2 int, l *Label) { b.branch(OpBLE, rs1, rs2, l) }
+
+// Bgt branches when rs1 > rs2 (signed).
+func (b *Builder) Bgt(rs1, rs2 int, l *Label) { b.branch(OpBGT, rs1, rs2, l) }
+
+// Call emits a subroutine call (return address on the machine call stack).
+func (b *Builder) Call(l *Label) { b.branch(OpCALL, 0, 0, l) }
+
+// Ret returns from a subroutine.
+func (b *Builder) Ret() { b.emit(Inst{Op: OpRET}) }
+
+// --- memory ---
+
+// Ld loads a 64-bit integer: rd = mem64[rs1+disp].
+func (b *Builder) Ld(rd, rs1 int, disp int64) {
+	b.emit(Inst{Op: OpLD, Rd: uint8(rd), Rs1: uint8(rs1), Imm: disp})
+}
+
+// St stores a 64-bit integer: mem64[rs1+disp] = rs2.
+func (b *Builder) St(rs1 int, disp int64, rs2 int) {
+	b.emit(Inst{Op: OpST, Rs1: uint8(rs1), Rs2: uint8(rs2), Imm: disp})
+}
+
+// Fld loads a binary64 into lane 0 of xd.
+func (b *Builder) Fld(xd, rs1 int, disp int64) {
+	b.emit(Inst{Op: OpFLD, Rd: uint8(xd), Rs1: uint8(rs1), Imm: disp})
+}
+
+// Fst stores lane 0 of xs as binary64.
+func (b *Builder) Fst(rs1 int, disp int64, xs int) {
+	b.emit(Inst{Op: OpFST, Rs1: uint8(rs1), Rs2: uint8(xs), Imm: disp})
+}
+
+// Flds loads a binary32 into the low half of lane 0, zeroing the rest.
+func (b *Builder) Flds(xd, rs1 int, disp int64) {
+	b.emit(Inst{Op: OpFLDS, Rd: uint8(xd), Rs1: uint8(rs1), Imm: disp})
+}
+
+// Fsts stores the low binary32 of lane 0.
+func (b *Builder) Fsts(rs1 int, disp int64, xs int) {
+	b.emit(Inst{Op: OpFSTS, Rs1: uint8(rs1), Rs2: uint8(xs), Imm: disp})
+}
+
+// Fldv loads a full 256-bit vector register.
+func (b *Builder) Fldv(xd, rs1 int, disp int64) {
+	b.emit(Inst{Op: OpFLDV, Rd: uint8(xd), Rs1: uint8(rs1), Imm: disp})
+}
+
+// Fstv stores a full 256-bit vector register.
+func (b *Builder) Fstv(rs1 int, disp int64, xs int) {
+	b.emit(Inst{Op: OpFSTV, Rs1: uint8(rs1), Rs2: uint8(xs), Imm: disp})
+}
+
+// --- floating point ---
+
+// FP2 emits a two-source floating point arithmetic instruction in
+// three-operand form: xd = op(xs1, xs2). SSE-style destructive forms are
+// expressed by passing xd == xs1.
+func (b *Builder) FP2(op Opcode, xd, xs1, xs2 int) {
+	b.emit(Inst{Op: op, Rd: uint8(xd), Rs1: uint8(xs1), Rs2: uint8(xs2)})
+}
+
+// FP1 emits a one-source floating point instruction (sqrt forms):
+// xd = op(xs1).
+func (b *Builder) FP1(op Opcode, xd, xs1 int) {
+	b.emit(Inst{Op: op, Rd: uint8(xd), Rs1: uint8(xs1), Rs2: uint8(xs1)})
+}
+
+// FMA emits a fused multiply-add form: xd = ±(xa*xb) ± xc.
+func (b *Builder) FMA(op Opcode, xd, xa, xb, xc int) {
+	b.emit(Inst{Op: op, Rd: uint8(xd), Rs1: uint8(xa), Rs2: uint8(xb), Rs3: uint8(xc)})
+}
+
+// Cvt emits a conversion. The register roles depend on the form: int→fp
+// forms read integer rs and write vector xd; fp→int forms read vector and
+// write integer; fp→fp forms are vector to vector.
+func (b *Builder) Cvt(op Opcode, rd, rs int) {
+	b.emit(Inst{Op: op, Rd: uint8(rd), Rs1: uint8(rs)})
+}
+
+// Ucomi emits an ordered/unordered compare writing the outcome to integer
+// register rd: -1 less, 0 equal, 1 greater, 2 unordered.
+func (b *Builder) Ucomi(op Opcode, rd, xs1, xs2 int) {
+	b.emit(Inst{Op: op, Rd: uint8(rd), Rs1: uint8(xs1), Rs2: uint8(xs2)})
+}
+
+// CmpPred emits a cmpsd/cmpss predicate compare producing a mask in xd.
+func (b *Builder) CmpPred(op Opcode, xd, xs1, xs2 int, pred CmpImm) {
+	b.emit(Inst{Op: op, Rd: uint8(xd), Rs1: uint8(xs1), Rs2: uint8(xs2), Imm: int64(pred)})
+}
+
+// Round emits a round-to-integral form with the given imm8 control.
+func (b *Builder) Round(op Opcode, xd, xs int, imm RoundImm) {
+	b.emit(Inst{Op: op, Rd: uint8(xd), Rs1: uint8(xs), Imm: int64(imm)})
+}
+
+// Dp emits a dot-product form.
+func (b *Builder) Dp(op Opcode, xd, xs1, xs2 int) {
+	b.emit(Inst{Op: op, Rd: uint8(xd), Rs1: uint8(xs1), Rs2: uint8(xs2), Imm: 0xFF})
+}
+
+// Movsd copies lane 0 (binary64) between vector registers.
+func (b *Builder) Movsd(xd, xs int) {
+	b.emit(Inst{Op: OpMOVSD, Rd: uint8(xd), Rs1: uint8(xs)})
+}
+
+// Movapd copies a whole vector register.
+func (b *Builder) Movapd(xd, xs int) {
+	b.emit(Inst{Op: OpMOVAPD, Rd: uint8(xd), Rs1: uint8(xs)})
+}
+
+// Movqx moves an integer register's bits into lane 0 of a vector register.
+func (b *Builder) Movqx(xd, rs int) {
+	b.emit(Inst{Op: OpMOVQX, Rd: uint8(xd), Rs1: uint8(rs)})
+}
+
+// Movxq moves lane 0 of a vector register into an integer register.
+func (b *Builder) Movxq(rd, xs int) {
+	b.emit(Inst{Op: OpMOVXQ, Rd: uint8(rd), Rs1: uint8(xs)})
+}
+
+// CmpImm is the predicate immediate of cmpsd/cmpss (the SSE encoding).
+type CmpImm = CmpPredicateImm
+
+// CmpPredicateImm mirrors softfloat.CmpPredicate values.
+type CmpPredicateImm uint8
+
+// RoundImm is the imm8 of the round forms: bits 0-1 rounding mode, bit 2
+// selects MXCSR.RC instead, bit 3 suppresses Inexact.
+type RoundImm uint8
+
+const (
+	// RoundImmNearest rounds to nearest even.
+	RoundImmNearest RoundImm = 0
+	// RoundImmDown rounds toward negative infinity.
+	RoundImmDown RoundImm = 1
+	// RoundImmUp rounds toward positive infinity.
+	RoundImmUp RoundImm = 2
+	// RoundImmTrunc rounds toward zero.
+	RoundImmTrunc RoundImm = 3
+	// RoundImmMXCSR uses the MXCSR rounding mode.
+	RoundImmMXCSR RoundImm = 4
+	// RoundImmNoInexact suppresses the Inexact flag.
+	RoundImmNoInexact RoundImm = 8
+)

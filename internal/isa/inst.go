@@ -1,0 +1,193 @@
+package isa
+
+import "fmt"
+
+// InstBytes is the synthetic encoded length of every instruction. The
+// guest ISA is fixed-length; FPSpy's single-step technique makes the
+// length irrelevant, as the paper notes for real x64.
+const InstBytes = 4
+
+// DefaultCodeBase is where program text is addressed unless overridden.
+const DefaultCodeBase = 0x400000
+
+// Integer register names. R0 is hardwired to zero; R15 is the stack
+// pointer by convention (it is what trace records report as %rsp).
+const (
+	R0 = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	NumIntRegs = 16
+	// SP is the conventional stack pointer register.
+	SP = R15
+)
+
+// Vector register names (X0..X15), each 256 bits wide.
+const (
+	X0 = iota
+	X1
+	X2
+	X3
+	X4
+	X5
+	X6
+	X7
+	X8
+	X9
+	X10
+	X11
+	X12
+	X13
+	X14
+	X15
+	NumVecRegs = 16
+)
+
+// Inst is one decoded instruction. Register fields are interpreted by
+// class: integer ops use integer registers, floating point ops use vector
+// registers, and conversions mix the two (documented per opcode).
+type Inst struct {
+	// Op is the instruction form.
+	Op Opcode
+	// Rd is the destination register.
+	Rd uint8
+	// Rs1, Rs2, Rs3 are source registers.
+	Rs1, Rs2, Rs3 uint8
+	// Imm carries an immediate, displacement, branch target (instruction
+	// index), compare predicate, or rounding control, by class.
+	Imm int64
+	// Sym is the symbol name for callc instructions.
+	Sym string
+}
+
+// String disassembles the instruction.
+func (i Inst) String() string {
+	info := i.Op.Info()
+	switch info.Class {
+	case ClassSys:
+		if i.Op == OpCALLC {
+			return fmt.Sprintf("callc %s", i.Sym)
+		}
+		return info.Name
+	case ClassInt:
+		switch i.Op {
+		case OpMOVI:
+			return fmt.Sprintf("movi r%d, %d", i.Rd, i.Imm)
+		case OpMOV:
+			return fmt.Sprintf("mov r%d, r%d", i.Rd, i.Rs1)
+		case OpADDI, OpSHLI, OpSHRI:
+			return fmt.Sprintf("%s r%d, r%d, %d", info.Name, i.Rd, i.Rs1, i.Imm)
+		default:
+			return fmt.Sprintf("%s r%d, r%d, r%d", info.Name, i.Rd, i.Rs1, i.Rs2)
+		}
+	case ClassBranch:
+		switch i.Op {
+		case OpJMP, OpCALL:
+			return fmt.Sprintf("%s %d", info.Name, i.Imm)
+		case OpRET:
+			return "ret"
+		default:
+			return fmt.Sprintf("%s r%d, r%d, %d", info.Name, i.Rs1, i.Rs2, i.Imm)
+		}
+	case ClassMem:
+		switch i.Op {
+		case OpLD:
+			return fmt.Sprintf("ld r%d, [r%d%+d]", i.Rd, i.Rs1, i.Imm)
+		case OpST:
+			return fmt.Sprintf("st [r%d%+d], r%d", i.Rs1, i.Imm, i.Rs2)
+		case OpFLD, OpFLDS, OpFLDV:
+			return fmt.Sprintf("%s x%d, [r%d%+d]", info.Name, i.Rd, i.Rs1, i.Imm)
+		default:
+			return fmt.Sprintf("%s [r%d%+d], x%d", info.Name, i.Rs1, i.Imm, i.Rs2)
+		}
+	case ClassFMA:
+		return fmt.Sprintf("%s x%d, x%d, x%d, x%d", info.Name, i.Rd, i.Rs1, i.Rs2, i.Rs3)
+	case ClassFPCompare:
+		if i.Op == OpCMPSD || i.Op == OpCMPSS {
+			return fmt.Sprintf("%s x%d, x%d, x%d, %d", info.Name, i.Rd, i.Rs1, i.Rs2, i.Imm)
+		}
+		return fmt.Sprintf("%s r%d, x%d, x%d", info.Name, i.Rd, i.Rs1, i.Rs2)
+	case ClassFPConvert:
+		switch info.Cvt {
+		case CvtSI2SD, CvtSI2SDQ, CvtSI2SS, CvtSI2SSQ:
+			return fmt.Sprintf("%s x%d, r%d", info.Name, i.Rd, i.Rs1)
+		case CvtSD2SI, CvtTSD2SI, CvtSS2SI, CvtTSS2SI, CvtTSD2SIQ:
+			return fmt.Sprintf("%s r%d, x%d", info.Name, i.Rd, i.Rs1)
+		default:
+			return fmt.Sprintf("%s x%d, x%d", info.Name, i.Rd, i.Rs1)
+		}
+	case ClassFPRound:
+		return fmt.Sprintf("%s x%d, x%d, %d", info.Name, i.Rd, i.Rs1, i.Imm)
+	default:
+		return fmt.Sprintf("%s x%d, x%d, x%d", info.Name, i.Rd, i.Rs1, i.Rs2)
+	}
+}
+
+// DefaultDataBase is where the initialized data segment is loaded.
+const DefaultDataBase = 0x100000
+
+// Program is an assembled guest program: a flat instruction sequence with
+// a code base address, an initialized data segment, and a human-readable
+// name.
+type Program struct {
+	// Name identifies the program in traces and diagnostics.
+	Name string
+	// Insts is the instruction sequence.
+	Insts []Inst
+	// Base is the address of instruction 0.
+	Base uint64
+	// Data is the initialized data image, loaded at DataBase.
+	Data []byte
+	// DataBase is the load address of Data.
+	DataBase uint64
+}
+
+// AddrOf returns the address of the instruction at index.
+func (p *Program) AddrOf(index int) uint64 {
+	return p.Base + uint64(index)*InstBytes
+}
+
+// IndexOf returns the instruction index for an address, or -1 if the
+// address is outside the program.
+func (p *Program) IndexOf(addr uint64) int {
+	if addr < p.Base {
+		return -1
+	}
+	idx := (addr - p.Base) / InstBytes
+	if idx >= uint64(len(p.Insts)) || (addr-p.Base)%InstBytes != 0 {
+		return -1
+	}
+	return int(idx)
+}
+
+// At returns the instruction at an address, or nil when out of range.
+func (p *Program) At(addr uint64) *Inst {
+	idx := p.IndexOf(addr)
+	if idx < 0 {
+		return nil
+	}
+	return &p.Insts[idx]
+}
+
+// Encode produces the synthetic 4-byte encoding of the instruction at
+// index, used to fill the "instruction data" field of trace records.
+func (p *Program) Encode(index int) [InstBytes]byte {
+	i := p.Insts[index]
+	return [InstBytes]byte{
+		byte(i.Op), byte(i.Op >> 8),
+		i.Rd<<4 | i.Rs1&0xF,
+		i.Rs2<<4 | i.Rs3&0xF,
+	}
+}

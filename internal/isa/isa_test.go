@@ -1,0 +1,219 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderLabelsResolveForwardAndBackward(t *testing.T) {
+	b := NewBuilder("labels")
+	fwd := b.Label("fwd")
+	b.Jmp(fwd) // forward reference
+	b.Nop()
+	b.Bind(fwd)
+	back := b.Label("back")
+	b.Bind(back)
+	b.Addi(R1, R1, 1)
+	b.Jmp(back) // backward reference
+	p := b.Build()
+	if p.Insts[0].Imm != 2 {
+		t.Errorf("forward jump target = %d, want 2", p.Insts[0].Imm)
+	}
+	if p.Insts[3].Imm != 2 {
+		t.Errorf("backward jump target = %d, want 2", p.Insts[3].Imm)
+	}
+}
+
+func TestBuilderUnboundLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unbound label")
+		}
+	}()
+	b := NewBuilder("bad")
+	b.Jmp(b.Label("nowhere"))
+	b.Build()
+}
+
+func TestBuilderDoubleBindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for double bind")
+		}
+	}()
+	b := NewBuilder("bad")
+	l := b.Label("l")
+	b.Bind(l)
+	b.Bind(l)
+}
+
+func TestLeaResolvesToAddress(t *testing.T) {
+	b := NewBuilder("lea")
+	fn := b.Label("fn")
+	b.Lea(R1, fn)
+	b.Hlt()
+	b.Bind(fn)
+	b.Ret()
+	p := b.Build()
+	want := int64(p.AddrOf(2))
+	if p.Insts[0].Imm != want {
+		t.Errorf("lea imm = %#x, want %#x", p.Insts[0].Imm, want)
+	}
+}
+
+func TestAddressMapping(t *testing.T) {
+	b := NewBuilder("addrs")
+	for i := 0; i < 5; i++ {
+		b.Nop()
+	}
+	p := b.Build()
+	for i := range p.Insts {
+		addr := p.AddrOf(i)
+		if got := p.IndexOf(addr); got != i {
+			t.Errorf("IndexOf(AddrOf(%d)) = %d", i, got)
+		}
+		if p.At(addr) != &p.Insts[i] {
+			t.Errorf("At(%#x) wrong", addr)
+		}
+	}
+	if p.IndexOf(p.Base-4) != -1 || p.IndexOf(p.AddrOf(5)) != -1 {
+		t.Error("out-of-range addresses resolved")
+	}
+	if p.IndexOf(p.Base+1) != -1 {
+		t.Error("misaligned address resolved")
+	}
+}
+
+func TestDataSegment(t *testing.T) {
+	b := NewBuilder("data")
+	a1 := b.Float64s(1.5, 2.5)
+	a2 := b.Float32s(0.5)
+	a3 := b.Words(42)
+	a4 := b.Zeros(16)
+	b.Hlt()
+	p := b.Build()
+	if a1 != DefaultDataBase {
+		t.Errorf("first array at %#x", a1)
+	}
+	if a2 != a1+16 {
+		t.Errorf("f32 array at %#x, want %#x", a2, a1+16)
+	}
+	// Words aligns? Float32s left us at offset 20; Words appends
+	// directly (no implicit alignment).
+	if a3 != a2+4 {
+		t.Errorf("words at %#x", a3)
+	}
+	// Zeros pads to 8-byte alignment.
+	if a4%8 != 0 {
+		t.Errorf("zeros misaligned at %#x", a4)
+	}
+	if len(p.Data) < 16+4+8+16 {
+		t.Errorf("data segment %d bytes", len(p.Data))
+	}
+	// Encoded value spot check: 1.5 little endian.
+	if p.Data[6] != 0xF8 || p.Data[7] != 0x3F {
+		t.Errorf("1.5 encoding wrong: % x", p.Data[:8])
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	cases := []struct {
+		inst Inst
+		want string
+	}{
+		{Inst{Op: OpMOVI, Rd: 1, Imm: 42}, "movi r1, 42"},
+		{Inst{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Inst{Op: OpADDSD, Rd: 1, Rs1: 2, Rs2: 3}, "addsd x1, x2, x3"},
+		{Inst{Op: OpVFMADDPS, Rd: 1, Rs1: 2, Rs2: 3, Rs3: 4}, "vfmaddps x1, x2, x3, x4"},
+		{Inst{Op: OpLD, Rd: 1, Rs1: 2, Imm: 8}, "ld r1, [r2+8]"},
+		{Inst{Op: OpST, Rs1: 2, Rs2: 3, Imm: -8}, "st [r2-8], r3"},
+		{Inst{Op: OpCALLC, Sym: "fork"}, "callc fork"},
+		{Inst{Op: OpHLT}, "hlt"},
+		{Inst{Op: OpRET}, "ret"},
+		{Inst{Op: OpUCOMISD, Rd: 1, Rs1: 2, Rs2: 3}, "ucomisd r1, x2, x3"},
+		{Inst{Op: OpCVTSI2SD, Rd: 1, Rs1: 2}, "cvtsi2sd x1, r2"},
+		{Inst{Op: OpCVTTSD2SI, Rd: 1, Rs1: 2}, "cvttsd2si r1, x2"},
+		{Inst{Op: OpROUNDSD, Rd: 1, Rs1: 2, Imm: 3}, "roundsd x1, x2, 3"},
+	}
+	for _, c := range cases {
+		if got := c.inst.String(); got != c.want {
+			t.Errorf("disasm = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestOpcodeByName(t *testing.T) {
+	for _, name := range []string{"addsd", "vfmaddps", "vdpps", "cvtsi2sdq", "hlt"} {
+		op, ok := OpcodeByName(name)
+		if !ok {
+			t.Errorf("OpcodeByName(%q) failed", name)
+			continue
+		}
+		if op.String() != name {
+			t.Errorf("round trip %q -> %q", name, op.String())
+		}
+	}
+	if _, ok := OpcodeByName("bogus"); ok {
+		t.Error("bogus opcode resolved")
+	}
+}
+
+func TestOpcodeTableConsistency(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < NumOpcodes(); i++ {
+		op := Opcode(i)
+		info := op.Info()
+		if info.Name == "" {
+			t.Errorf("opcode %d unnamed", i)
+		}
+		if seen[info.Name] {
+			t.Errorf("duplicate mnemonic %q", info.Name)
+		}
+		seen[info.Name] = true
+		switch info.Class {
+		case ClassFPArith, ClassFMA, ClassFPRound, ClassFPDot:
+			if info.Lanes == 0 {
+				t.Errorf("%s: zero lanes", info.Name)
+			}
+		}
+		// VEX naming convention: v-prefixed mnemonics are VEX except the
+		// legacy scalar/packed set.
+		if strings.HasPrefix(info.Name, "v") && !info.VEX {
+			if info.Name != "vips" { // not an opcode; guard anyway
+				t.Errorf("%s: v-prefix but not VEX", info.Name)
+			}
+		}
+	}
+}
+
+func TestEncodeIsDeterministic(t *testing.T) {
+	b := NewBuilder("enc")
+	b.FP2(OpADDSD, 1, 2, 3)
+	p := b.Build()
+	e1 := p.Encode(0)
+	e2 := p.Encode(0)
+	if e1 != e2 {
+		t.Error("encoding not deterministic")
+	}
+	if e1[0] == 0 && e1[1] == 0 && e1[2] == 0 && e1[3] == 0 {
+		t.Error("encoding all zero")
+	}
+}
+
+func TestRemainingBuilderOps(t *testing.T) {
+	b := NewBuilder("misc")
+	b.Or(R1, R2, R3)
+	b.Raw(Inst{Op: OpNOP})
+	l := b.Label("t")
+	b.Ble(R1, R2, l)
+	b.Bgt(R1, R2, l)
+	b.Bind(l)
+	b.Nop()
+	p := b.Build()
+	if p.Insts[0].Op != OpOR || p.Insts[1].Op != OpNOP {
+		t.Error("or/raw broken")
+	}
+	if p.Insts[2].Imm != 4 || p.Insts[3].Imm != 4 {
+		t.Errorf("ble/bgt targets %d %d", p.Insts[2].Imm, p.Insts[3].Imm)
+	}
+}

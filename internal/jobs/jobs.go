@@ -1,0 +1,79 @@
+// Package jobs implements the paper's "cloning in production" use-case
+// (Figure 1b): at job launch, the scheduler captures the job and its
+// parameters as a *submission clone* — a serializable snapshot that can
+// be stored and replayed later, offline, under far more aggressive FPSpy
+// configurations than production would tolerate. The user's run itself
+// proceeds untouched, with zero overhead.
+package jobs
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	fpspy "repro"
+	"repro/internal/isa"
+)
+
+// Job is a submission clone: everything needed to re-run a submission
+// bit-identically — the binary (program image) and the environment the
+// scheduler would have launched it with.
+type Job struct {
+	// Name identifies the submission.
+	Name string
+	// Program is the application binary image.
+	Program *isa.Program
+	// Env is the launch environment.
+	Env map[string]string
+	// MemBytes is the requested memory.
+	MemBytes int
+}
+
+// Capture builds a submission clone at the moment of launch.
+func Capture(name string, prog *isa.Program, env map[string]string, memBytes int) *Job {
+	dupEnv := make(map[string]string, len(env))
+	for k, v := range env {
+		dupEnv[k] = v
+	}
+	return &Job{Name: name, Program: prog, Env: dupEnv, MemBytes: memBytes}
+}
+
+// Encode serializes the clone for storage (the paper's offline-analysis
+// hand-off).
+func (j *Job) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(j); err != nil {
+		return nil, fmt.Errorf("jobs: encode %s: %w", j.Name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode reconstructs a submission clone.
+func Decode(data []byte) (*Job, error) {
+	var j Job
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&j); err != nil {
+		return nil, fmt.Errorf("jobs: decode: %w", err)
+	}
+	return &j, nil
+}
+
+// RunProduction executes the job exactly as submitted: no FPSpy, no
+// overhead — "from the user's perspective, nothing would have changed".
+func (j *Job) RunProduction() (*fpspy.Result, error) {
+	return fpspy.Run(j.Program, fpspy.Options{
+		NoSpy:    true,
+		MemBytes: j.MemBytes,
+		Env:      j.Env,
+	})
+}
+
+// Replay executes the clone offline under an arbitrary FPSpy
+// configuration — typically aggressive individual-mode tracing that
+// production could never afford.
+func (j *Job) Replay(cfg fpspy.Config) (*fpspy.Result, error) {
+	return fpspy.Run(j.Program, fpspy.Options{
+		Config:   cfg,
+		MemBytes: j.MemBytes,
+		Env:      j.Env,
+	})
+}

@@ -1,0 +1,96 @@
+package jobs_test
+
+import (
+	"testing"
+
+	fpspy "repro"
+	"repro/internal/jobs"
+	"repro/internal/workload"
+)
+
+func TestCloneRoundTrip(t *testing.T) {
+	w, err := workload.ByName("laghos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := jobs.Capture("laghos-run-42", w.Build(workload.SizeSmall),
+		map[string]string{"OMP_NUM_THREADS": "4"}, 4<<20)
+	blob, err := job.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := jobs.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != job.Name || back.MemBytes != job.MemBytes {
+		t.Errorf("metadata lost: %+v", back)
+	}
+	if len(back.Program.Insts) != len(job.Program.Insts) {
+		t.Fatalf("program truncated: %d vs %d", len(back.Program.Insts), len(job.Program.Insts))
+	}
+	if back.Env["OMP_NUM_THREADS"] != "4" {
+		t.Error("environment lost")
+	}
+	// The decoded clone replays identically to the original program.
+	orig, err := job.Replay(fpspy.Config{Mode: fpspy.ModeAggregate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := back.Replay(fpspy.Config{Mode: fpspy.ModeAggregate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.EventSet() != replay.EventSet() {
+		t.Errorf("replay events %v != original %v", replay.EventSet(), orig.EventSet())
+	}
+	if orig.Steps != replay.Steps {
+		t.Errorf("replay steps %d != original %d", replay.Steps, orig.Steps)
+	}
+}
+
+func TestProductionRunHasNoSpy(t *testing.T) {
+	w, err := workload.ByName("nas-ep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := jobs.Capture("ep", w.Build(workload.SizeSmall), nil, 4<<20)
+	res, err := job.RunProduction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Store.Faults != 0 || len(res.Aggregates()) != 0 {
+		t.Error("production run was observed")
+	}
+	if res.ExitCode != 0 {
+		t.Errorf("exit %d", res.ExitCode)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := jobs.Decode([]byte("not a clone")); err == nil {
+		t.Error("garbage decoded")
+	}
+}
+
+func TestCloneReplayAggressive(t *testing.T) {
+	// The offline analyst uses a configuration production would never
+	// tolerate: full individual capture including Inexact.
+	w, err := workload.ByName("ext/cholesky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := jobs.Capture("cholesky", w.Build(workload.SizeSmall), nil, 4<<20)
+	blob, _ := job.Encode()
+	clone, _ := jobs.Decode(blob)
+	res, err := clone.Replay(fpspy.Config{Mode: fpspy.ModeIndividual, Aggressive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EventSet()&fpspy.FlagDivideByZero == 0 {
+		t.Error("offline replay missed the divide by zero")
+	}
+	if len(res.MustRecords()) == 0 {
+		t.Error("no records from aggressive replay")
+	}
+}

@@ -1,0 +1,37 @@
+package kernel
+
+// CostModel assigns cycle costs to machine and kernel operations. The
+// defaults are tuned to the magnitudes the FPSpy paper reports: a
+// floating point event handled in individual mode costs "thousands of
+// cycles" across two kernel crossings and two signal deliveries, versus a
+// handful of cycles for the instruction itself.
+type CostModel struct {
+	// Instruction is the user-time cost of one retired instruction.
+	Instruction uint64
+	// FPFault is the system-time cost of an unmasked FP exception
+	// (kernel entry, exception decode, signal setup).
+	FPFault uint64
+	// Trap is the system-time cost of a single-step trap.
+	Trap uint64
+	// Syscall is the system-time cost of a libc call that enters the
+	// kernel.
+	Syscall uint64
+	// SignalHandler is the user-time cost of running a signal handler
+	// prologue/epilogue (the FPSpy handler body).
+	SignalHandler uint64
+	// TimerIRQ is the system-time cost of a timer expiry.
+	TimerIRQ uint64
+}
+
+// DefaultCostModel returns costs approximating the paper's 2.1 GHz
+// Opteron test machine.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Instruction:   1,
+		FPFault:       1800,
+		Trap:          1600,
+		Syscall:       150,
+		SignalHandler: 450,
+		TimerIRQ:      200,
+	}
+}

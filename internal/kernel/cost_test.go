@@ -1,0 +1,147 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/softfloat"
+)
+
+// buildFaulty builds a program taking n unmasked FP faults handled by a
+// host handler that masks, steps, and unmasks (the FPSpy protocol).
+func buildFaulty(n int64) *isa.Program {
+	b := isa.NewBuilder("faulty")
+	b.Movi(isa.R1, int64(math.Float64bits(1)))
+	b.Movqx(isa.X0, isa.R1)
+	b.Movi(isa.R1, int64(math.Float64bits(3)))
+	b.Movqx(isa.X1, isa.R1)
+	b.Movi(isa.R8, 0)
+	b.Movi(isa.R9, n)
+	top := b.Label("top")
+	b.Bind(top)
+	b.FP2(isa.OpDIVSD, isa.X2, isa.X0, isa.X1)
+	b.Addi(isa.R8, isa.R8, 1)
+	b.Blt(isa.R8, isa.R9, top)
+	b.Hlt()
+	return b.Build()
+}
+
+// installSpyProtocol wires the FPSpy-style two-trap protocol with host
+// handlers.
+func installSpyProtocol(k *Kernel, p *Process) {
+	k.SetSigAction(p, SIGFPE, &SigAction{Host: func(k *Kernel, t *Task, info *SigInfo, mc *MContext) {
+		mc.CPU.MXCSR.ClearFlags()
+		mc.CPU.MXCSR.Mask(softfloat.Flags(0x3F))
+		mc.CPU.TF = true
+	}})
+	k.SetSigAction(p, SIGTRAP, &SigAction{Host: func(k *Kernel, t *Task, info *SigInfo, mc *MContext) {
+		mc.CPU.MXCSR.ClearFlags()
+		mc.CPU.MXCSR.Unmask(softfloat.FlagInexact)
+		mc.CPU.TF = false
+	}})
+	p.Tasks[0].M.CPU.MXCSR.Unmask(softfloat.FlagInexact)
+}
+
+func TestCostModelChargesPerEvent(t *testing.T) {
+	const n = 100
+	k := New()
+	p, err := k.Spawn(buildFaulty(n), 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	installSpyProtocol(k, p)
+	k.Run(1_000_000)
+	if !p.Exited {
+		t.Fatal("did not exit")
+	}
+	task := p.Tasks[0]
+	cost := k.Cost
+	// Each event costs one FP fault + one trap (system) and two handler
+	// invocations (user).
+	wantSys := n * (cost.FPFault + cost.Trap)
+	if task.SysCycles != wantSys {
+		t.Errorf("sys cycles = %d, want %d", task.SysCycles, wantSys)
+	}
+	minUser := n * 2 * cost.SignalHandler
+	if task.UserCycles < minUser {
+		t.Errorf("user cycles = %d, want >= %d", task.UserCycles, minUser)
+	}
+}
+
+func TestCostModelOverride(t *testing.T) {
+	run := func(cm CostModel) uint64 {
+		k := New()
+		k.Cost = cm
+		p, err := k.Spawn(buildFaulty(50), 1<<20, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		installSpyProtocol(k, p)
+		k.Run(1_000_000)
+		u, s := p.ProcessTimes()
+		return u + s
+	}
+	cheap := DefaultCostModel()
+	cheap.FPFault, cheap.Trap, cheap.SignalHandler = 10, 10, 10
+	expensive := DefaultCostModel()
+	expensive.FPFault, expensive.Trap = 100_000, 100_000
+	if run(cheap) >= run(expensive) {
+		t.Error("cost model not honored")
+	}
+}
+
+func TestWallClockAdvancesWithLongestTask(t *testing.T) {
+	// Two concurrent tasks: wall time tracks the longest per-round
+	// slice, not the sum (tasks run on separate virtual cores).
+	b := isa.NewBuilder("par")
+	worker := b.Label("worker")
+	b.Lea(isa.R1, worker)
+	b.Movi(isa.R2, 0)
+	b.CallC("pthread_create")
+	b.Mov(isa.R10, isa.R1)
+	b.Movi(isa.R8, 0)
+	b.Movi(isa.R9, 30000)
+	spin := b.Label("spin")
+	b.Bind(spin)
+	b.Addi(isa.R8, isa.R8, 1)
+	b.Blt(isa.R8, isa.R9, spin)
+	b.Mov(isa.R1, isa.R10)
+	b.CallC("pthread_join")
+	b.Hlt()
+	b.Bind(worker)
+	b.Movi(isa.R8, 0)
+	b.Movi(isa.R9, 30000)
+	spin2 := b.Label("spin2")
+	b.Bind(spin2)
+	b.Addi(isa.R8, isa.R8, 1)
+	b.Blt(isa.R8, isa.R9, spin2)
+	b.CallC("pthread_exit")
+	k := New()
+	p, err := k.Spawn(b.Build(), 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(10_000_000)
+	if !p.Exited {
+		t.Fatal("did not exit")
+	}
+	user, sys := p.ProcessTimes()
+	total := user + sys
+	// Two ~60k-instruction tasks overlap: wall must be well below the
+	// serial total and at least the longer task's share.
+	if k.Cycles >= total {
+		t.Errorf("wall %d >= serial %d: no overlap modeled", k.Cycles, total)
+	}
+	if k.Cycles < total/3 {
+		t.Errorf("wall %d implausibly small vs %d", k.Cycles, total)
+	}
+}
+
+func TestWallSeconds(t *testing.T) {
+	k := New()
+	k.Cycles = 2_100_000_000
+	if got := k.WallSeconds(2.1e9); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("WallSeconds = %v", got)
+	}
+}

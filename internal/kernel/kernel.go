@@ -1,0 +1,418 @@
+// Package kernel simulates the Linux facilities FPSpy depends on:
+// processes and threads, signal dispositions and delivery with a writable
+// machine context, interval timers (real and virtual), an environment, a
+// dynamic linker with LD_PRELOAD-style interposition, and a cycle-level
+// cost model separating user from system time.
+//
+// The kernel multiplexes guest tasks over virtual CPUs round-robin. Guest
+// machine events (floating point faults, single-step traps, libc calls)
+// are translated exactly the way Linux translates them: an unmasked SSE
+// exception becomes SIGFPE delivered to the thread with the faulting
+// context, a #DB trap becomes SIGTRAP, and the sigreturn path restores
+// (possibly handler-modified) context — which is how FPSpy masks
+// exceptions and arms single-stepping from user level.
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// TaskState is the lifecycle state of a task.
+type TaskState uint8
+
+const (
+	// TaskRunnable tasks participate in scheduling.
+	TaskRunnable TaskState = iota
+	// TaskBlocked tasks wait on another task's exit (pthread_join).
+	TaskBlocked
+	// TaskExited tasks have terminated normally.
+	TaskExited
+	// TaskKilled tasks were terminated by a fatal signal.
+	TaskKilled
+)
+
+// Task is one thread of execution: a guest CPU context plus accounting.
+type Task struct {
+	// TID is the thread id (unique across the kernel).
+	TID int
+	// Proc is the owning process.
+	Proc *Process
+	// M is the guest machine; memory is shared with the process.
+	M *machine.Machine
+	// State is the lifecycle state.
+	State TaskState
+
+	// UserCycles and SysCycles account execution time.
+	UserCycles uint64
+	SysCycles  uint64
+
+	// OnExit hooks run when the task terminates (used by FPSpy's thread
+	// teardown thunk).
+	OnExit []func(*Kernel, *Task)
+
+	// savedCtx stacks contexts for guest signal handlers.
+	savedCtx []machine.CPU
+
+	// timers are the per-task interval timers.
+	timers [2]timer
+
+	// pendingKill marks the task for termination by signal.
+	pendingKill bool
+}
+
+// Process is a group of tasks sharing memory, signal dispositions, an
+// environment, and a dynamic linker instance.
+type Process struct {
+	// PID is the process id.
+	PID int
+	// Tasks are the member threads (index 0 is the initial thread).
+	Tasks []*Task
+	// Mem is the shared memory image.
+	Mem []byte
+	// Env is the process environment (FPSpy's whole interface).
+	Env map[string]string
+	// Handlers maps signals to dispositions.
+	Handlers map[Signal]*SigAction
+	// Linker resolves libc symbols through the preload chain.
+	Linker *Linker
+	// Prog is the program image all tasks execute.
+	Prog *isa.Program
+	// Exited is true once the process has terminated.
+	Exited bool
+	// ExitCode is the status at exit.
+	ExitCode int
+
+	// stackTop is the bump allocator for thread stacks (grows down).
+	stackTop uint64
+}
+
+// Kernel is the simulated OS instance.
+type Kernel struct {
+	// Procs are all processes ever created, by pid.
+	Procs map[int]*Process
+	// Cost is the cycle cost model.
+	Cost CostModel
+	// Cycles is the global wall clock in cycles (advances with the
+	// longest-running virtual CPU).
+	Cycles uint64
+
+	nextPID  int
+	nextTID  int
+	runq     []*Task
+	preloads map[string]ObjectFactory
+	// joinWaiters maps a tid to the tasks blocked joining it.
+	joinWaiters map[int][]*Task
+}
+
+// New creates an empty kernel with the default cost model.
+func New() *Kernel {
+	return &Kernel{
+		Procs:       make(map[int]*Process),
+		Cost:        DefaultCostModel(),
+		nextPID:     1000,
+		nextTID:     1000,
+		preloads:    make(map[string]ObjectFactory),
+		joinWaiters: make(map[int][]*Task),
+	}
+}
+
+// RegisterPreload makes a preloadable object available to LD_PRELOAD
+// under the given name.
+func (k *Kernel) RegisterPreload(name string, f ObjectFactory) {
+	k.preloads[name] = f
+}
+
+// StackSize is the per-thread stack reservation.
+const StackSize = 64 * 1024
+
+// Spawn creates a process running prog with the given memory size and
+// environment, links it against libc plus any preload objects named in
+// env's LD_PRELOAD (resolved via the registry), and runs constructors.
+func (k *Kernel) Spawn(prog *isa.Program, memSize int, env map[string]string) (*Process, error) {
+	if env == nil {
+		env = make(map[string]string)
+	}
+	p := &Process{
+		PID:      k.nextPID,
+		Env:      env,
+		Handlers: make(map[Signal]*SigAction),
+		Prog:     prog,
+	}
+	k.nextPID++
+	m := machine.New(prog, memSize)
+	p.Mem = m.Mem
+	p.stackTop = uint64(memSize)
+	t := k.addTask(p, m)
+	t.M.CPU.R[isa.SP] = p.allocStack()
+
+	ld, err := newLinker(k, p, env["LD_PRELOAD"])
+	if err != nil {
+		return nil, err
+	}
+	p.Linker = ld
+	k.Procs[p.PID] = p
+
+	// Run constructors (preload objects first, like ld.so).
+	for _, obj := range ld.chain {
+		if obj.Constructor != nil {
+			obj.Constructor(k, t)
+		}
+	}
+	return p, nil
+}
+
+func (p *Process) allocStack() uint64 {
+	p.stackTop -= StackSize
+	return p.stackTop + StackSize - 16
+}
+
+func (k *Kernel) addTask(p *Process, m *machine.Machine) *Task {
+	t := &Task{TID: k.nextTID, Proc: p, M: m}
+	k.nextTID++
+	p.Tasks = append(p.Tasks, t)
+	k.runq = append(k.runq, t)
+	return t
+}
+
+// SpawnThread creates a new task in p starting at entry with arg in R1
+// and a fresh stack. It mirrors clone(CLONE_VM|...).
+func (k *Kernel) SpawnThread(p *Process, entry uint64, arg uint64) *Task {
+	m := &machine.Machine{Prog: p.Prog, Mem: p.Mem}
+	m.CPU.RIP = entry
+	m.CPU.MXCSR = 0x1F80
+	t := k.addTask(p, m)
+	t.M.CPU.R[isa.R1] = arg
+	t.M.CPU.R[isa.SP] = p.allocStack()
+	return t
+}
+
+// Fork duplicates the calling task's process: memory is copied, the
+// calling thread alone is replicated, and the child resumes at the same
+// RIP with R1 = 0 while the parent sees the child pid.
+func (k *Kernel) Fork(t *Task) *Process {
+	parent := t.Proc
+	child := &Process{
+		PID:      k.nextPID,
+		Env:      copyEnv(parent.Env),
+		Handlers: make(map[Signal]*SigAction),
+		Prog:     parent.Prog,
+		Mem:      t.M.CloneMemory(),
+		stackTop: parent.stackTop,
+	}
+	k.nextPID++
+	// Dispositions are inherited across fork.
+	for s, a := range parent.Handlers {
+		dup := *a
+		child.Handlers[s] = &dup
+	}
+	m := &machine.Machine{Prog: child.Prog, Mem: child.Mem}
+	m.CPU = t.M.CPU // full register state, including MXCSR
+	ct := k.addTask(child, m)
+	ct.M.CPU.R[isa.R1] = 0
+	t.M.CPU.R[isa.R1] = uint64(child.PID)
+	// The child shares the parent's linker chain objects (same mapped
+	// libraries), but state-bearing preload objects re-initialize via
+	// their fork interposition, exactly as FPSpy does.
+	child.Linker = parent.Linker.cloneFor(child)
+	k.Procs[child.PID] = child
+	return child
+}
+
+func copyEnv(env map[string]string) map[string]string {
+	dup := make(map[string]string, len(env))
+	for k, v := range env {
+		dup[k] = v
+	}
+	return dup
+}
+
+// JoinTask blocks t until target exits. If the target has already
+// terminated, t continues immediately.
+func (k *Kernel) JoinTask(t *Task, targetTID int) {
+	for _, tt := range t.Proc.Tasks {
+		if tt.TID == targetTID {
+			if tt.State == TaskExited || tt.State == TaskKilled {
+				return
+			}
+			t.State = TaskBlocked
+			k.joinWaiters[targetTID] = append(k.joinWaiters[targetTID], t)
+			return
+		}
+	}
+	// Unknown tid: no-op, as pthread_join with a bad id returns ESRCH.
+}
+
+// ExitTask terminates one task, running its exit hooks.
+func (k *Kernel) ExitTask(t *Task, state TaskState) {
+	if t.State != TaskRunnable && t.State != TaskBlocked {
+		return
+	}
+	t.State = state
+	for i := len(t.OnExit) - 1; i >= 0; i-- {
+		t.OnExit[i](k, t)
+	}
+	// Wake joiners.
+	for _, w := range k.joinWaiters[t.TID] {
+		if w.State == TaskBlocked {
+			w.State = TaskRunnable
+		}
+	}
+	delete(k.joinWaiters, t.TID)
+	live := 0
+	for _, tt := range t.Proc.Tasks {
+		if tt.State == TaskRunnable {
+			live++
+		}
+	}
+	if live == 0 && !t.Proc.Exited {
+		k.exitProcess(t.Proc, 0)
+	}
+}
+
+// ExitProcess terminates all tasks of a process.
+func (k *Kernel) ExitProcess(p *Process, code int) {
+	for _, t := range p.Tasks {
+		if t.State == TaskRunnable {
+			t.State = TaskExited
+			for i := len(t.OnExit) - 1; i >= 0; i-- {
+				t.OnExit[i](k, t)
+			}
+		}
+	}
+	k.exitProcess(p, code)
+}
+
+func (p *Process) String() string { return fmt.Sprintf("pid %d (%s)", p.PID, p.Prog.Name) }
+
+func (k *Kernel) exitProcess(p *Process, code int) {
+	if p.Exited {
+		return
+	}
+	p.Exited = true
+	p.ExitCode = code
+	// Run destructors in reverse constructor order, on the initial task.
+	if p.Linker != nil && len(p.Tasks) > 0 {
+		t := p.Tasks[0]
+		for i := len(p.Linker.chain) - 1; i >= 0; i-- {
+			if d := p.Linker.chain[i].Destructor; d != nil {
+				d(k, t)
+			}
+		}
+	}
+}
+
+// quantum is the scheduler timeslice in instructions.
+const quantum = 2000
+
+// Run schedules all runnable tasks until everything exits or maxSteps
+// total instructions have retired. It returns the number retired.
+func (k *Kernel) Run(maxSteps uint64) uint64 {
+	var total uint64
+	for total < maxSteps {
+		ran := false
+		// Stable task order: snapshot the run queue (it can grow when
+		// threads or processes are created mid-quantum).
+		queue := k.runq
+		var maxTaskCycles uint64
+		for _, t := range queue {
+			if t.State != TaskRunnable || t.Proc.Exited {
+				continue
+			}
+			ran = true
+			before := t.UserCycles + t.SysCycles
+			steps := k.runTask(t, quantum)
+			total += steps
+			delta := t.UserCycles + t.SysCycles - before
+			if delta > maxTaskCycles {
+				maxTaskCycles = delta
+			}
+		}
+		// Wall clock advances by the longest slice among the virtual
+		// CPUs this round (tasks run in parallel on distinct cores).
+		k.Cycles += maxTaskCycles
+		if !ran {
+			break
+		}
+		k.gcRunq()
+	}
+	return total
+}
+
+func (k *Kernel) gcRunq() {
+	live := k.runq[:0]
+	for _, t := range k.runq {
+		if (t.State == TaskRunnable || t.State == TaskBlocked) && !t.Proc.Exited {
+			live = append(live, t)
+		}
+	}
+	k.runq = live
+}
+
+// runTask executes up to n instructions on one task, handling events.
+func (k *Kernel) runTask(t *Task, n uint64) uint64 {
+	var steps uint64
+	for steps < n && t.State == TaskRunnable && !t.Proc.Exited {
+		before := t.UserCycles + t.SysCycles
+		ev := t.M.Step()
+		steps++
+		t.UserCycles += k.Cost.Instruction
+		switch e := ev.(type) {
+		case nil:
+		case *machine.FPEvent:
+			t.SysCycles += k.Cost.FPFault
+			k.deliverSignal(t, SIGFPE, &SigInfo{
+				Signo: SIGFPE, Addr: e.Addr, Raised: e.Raised, Unmasked: e.Unmasked,
+			})
+		case *machine.TrapEvent:
+			t.SysCycles += k.Cost.Trap
+			k.deliverSignal(t, SIGTRAP, &SigInfo{Signo: SIGTRAP, Addr: e.Addr})
+		case *machine.BreakpointEvent:
+			t.SysCycles += k.Cost.Trap
+			k.deliverSignal(t, SIGILL, &SigInfo{Signo: SIGILL, Addr: e.Addr})
+		case *machine.CallCEvent:
+			t.SysCycles += k.Cost.Syscall
+			k.dispatchLibc(t, e.Sym)
+		case *machine.HaltEvent:
+			k.ExitTask(t, TaskExited)
+		case *machine.FaultEvent:
+			k.deliverSignal(t, SIGSEGV, &SigInfo{Signo: SIGSEGV, Addr: e.Addr, Reason: e.Reason})
+		}
+		if t.State == TaskRunnable && !t.Proc.Exited {
+			k.tickTimers(t, t.UserCycles+t.SysCycles-before)
+		}
+		if t.pendingKill {
+			t.pendingKill = false
+			k.ExitTask(t, TaskKilled)
+		}
+	}
+	return steps
+}
+
+// WallSeconds converts the global cycle clock to seconds at the given
+// clock rate (Hz).
+func (k *Kernel) WallSeconds(hz float64) float64 {
+	return float64(k.Cycles) / hz
+}
+
+// ProcessTimes sums user and system cycles over a process's tasks.
+func (p *Process) ProcessTimes() (user, sys uint64) {
+	for _, t := range p.Tasks {
+		user += t.UserCycles
+		sys += t.SysCycles
+	}
+	return
+}
+
+// TaskIDs returns the process's task ids in creation order.
+func (p *Process) TaskIDs() []int {
+	ids := make([]int, len(p.Tasks))
+	for i, t := range p.Tasks {
+		ids[i] = t.TID
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -1,0 +1,131 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Symbol is the implementation of one libc function. Guest calling
+// convention: arguments in r1..r6, result in r1.
+type Symbol func(k *Kernel, t *Task)
+
+// Object is a loaded shared object: a bag of symbols plus the
+// constructor/destructor hooks the linker runs around main(), which is
+// how FPSpy injects its initialization and teardown.
+type Object struct {
+	// Name is the object's identity (e.g. "libc.so", "fpspy.so").
+	Name string
+	// Syms maps symbol names to implementations.
+	Syms map[string]Symbol
+	// Constructor runs before main() on the initial task.
+	Constructor func(*Kernel, *Task)
+	// Destructor runs after the process's last task exits.
+	Destructor func(*Kernel, *Task)
+	// ForkChild runs in the child after fork when the object interposes
+	// on fork (FPSpy re-initializes per-process state here).
+	ForkChild func(k *Kernel, parent, child *Task)
+}
+
+// ObjectFactory instantiates a preload object for a process.
+type ObjectFactory func(p *Process) *Object
+
+// Linker is a process's dynamic linker state: the resolution chain with
+// preload objects ahead of libc.
+type Linker struct {
+	chain     []*Object
+	factories []namedFactory
+	proc      *Process
+}
+
+type namedFactory struct {
+	name string
+	f    ObjectFactory
+}
+
+// newLinker builds the resolution chain for a process: every object named
+// in the colon-separated ldPreload list (resolved via the kernel's
+// registry), then libc.
+func newLinker(k *Kernel, p *Process, ldPreload string) (*Linker, error) {
+	l := &Linker{proc: p}
+	if ldPreload != "" {
+		for _, name := range strings.Split(ldPreload, ":") {
+			f, ok := k.preloads[name]
+			if !ok {
+				return nil, fmt.Errorf("kernel: LD_PRELOAD object %q not registered", name)
+			}
+			l.chain = append(l.chain, f(p))
+			l.factories = append(l.factories, namedFactory{name, f})
+		}
+	}
+	l.chain = append(l.chain, libcObject(p))
+	return l, nil
+}
+
+// cloneFor builds a child process's chain with fresh preload instances
+// (per-process state) and a fresh libc bound to the child.
+func (l *Linker) cloneFor(child *Process) *Linker {
+	nl := &Linker{proc: child, factories: l.factories}
+	for _, nf := range l.factories {
+		nl.chain = append(nl.chain, nf.f(child))
+	}
+	nl.chain = append(nl.chain, libcObject(child))
+	return nl
+}
+
+// Resolve finds the first definition of sym in the chain.
+func (l *Linker) Resolve(sym string) (Symbol, *Object) {
+	for _, obj := range l.chain {
+		if s, ok := obj.Syms[sym]; ok {
+			return s, obj
+		}
+	}
+	return nil, nil
+}
+
+// ResolveAfter finds the next definition of sym after the named object —
+// the dlsym(RTLD_NEXT, ...) FPSpy uses to call through to the real
+// functions.
+func (l *Linker) ResolveAfter(objName, sym string) Symbol {
+	seen := false
+	for _, obj := range l.chain {
+		if obj.Name == objName {
+			seen = true
+			continue
+		}
+		if !seen {
+			continue
+		}
+		if s, ok := obj.Syms[sym]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// Objects lists the chain (preloads first).
+func (l *Linker) Objects() []*Object { return l.chain }
+
+// dispatchLibc routes a guest callc through the chain.
+func (k *Kernel) dispatchLibc(t *Task, sym string) {
+	s, _ := t.Proc.Linker.Resolve(sym)
+	if s == nil {
+		k.deliverSignal(t, SIGSEGV, &SigInfo{
+			Signo: SIGSEGV, Reason: fmt.Sprintf("unresolved symbol %q", sym), Addr: t.M.CPU.RIP,
+		})
+		return
+	}
+	s(k, t)
+}
+
+// runForkHooks invokes ForkChild on the child's preload objects.
+func (k *Kernel) runForkHooks(parent *Task, child *Process) {
+	if len(child.Tasks) == 0 {
+		return
+	}
+	ct := child.Tasks[0]
+	for _, obj := range child.Linker.chain {
+		if obj.ForkChild != nil {
+			obj.ForkChild(k, parent, ct)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package kernel
+
+// TimerKind selects which per-task interval timer to arm.
+type TimerKind int
+
+const (
+	// TimerReal counts user+system cycles and delivers SIGALRM — the
+	// analogue of ITIMER_REAL for a task pinned to its own core.
+	TimerReal TimerKind = iota
+	// TimerVirtual counts retired instructions and delivers SIGVTALRM
+	// (ITIMER_VIRTUAL; FPSpy's "instruction time").
+	TimerVirtual
+)
+
+type timer struct {
+	armed     bool
+	remaining uint64
+}
+
+// SetTimer arms a one-shot per-task timer. A value of 0 disarms. FPSpy's
+// Poisson sampler arms these alternately for its on and off periods.
+func (t *Task) SetTimer(kind TimerKind, value uint64) {
+	t.timers[kind] = timer{armed: value > 0, remaining: value}
+}
+
+// TimerArmed reports whether the timer is pending.
+func (t *Task) TimerArmed(kind TimerKind) bool { return t.timers[kind].armed }
+
+// tickTimers advances both timers after one retired instruction that
+// consumed the given number of cycles, delivering expiry signals.
+func (k *Kernel) tickTimers(t *Task, cycles uint64) {
+	if tm := &t.timers[TimerVirtual]; tm.armed {
+		if tm.remaining <= 1 {
+			tm.armed = false
+			t.SysCycles += k.Cost.TimerIRQ
+			k.deliverSignal(t, SIGVTALRM, &SigInfo{Signo: SIGVTALRM})
+		} else {
+			tm.remaining--
+		}
+	}
+	if tm := &t.timers[TimerReal]; tm.armed {
+		if tm.remaining <= cycles {
+			tm.armed = false
+			t.SysCycles += k.Cost.TimerIRQ
+			k.deliverSignal(t, SIGALRM, &SigInfo{Signo: SIGALRM})
+		} else {
+			tm.remaining -= cycles
+		}
+	}
+}

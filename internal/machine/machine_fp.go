@@ -1,0 +1,316 @@
+package machine
+
+import (
+	"repro/internal/isa"
+	"repro/internal/softfloat"
+)
+
+// fpStage stages the writeback of a floating point instruction so faults
+// can be delivered before any architectural state changes.
+type fpStage struct {
+	vec    [4]uint64 // staged vector destination
+	vecSet bool
+	intVal uint64 // staged integer destination
+	intSet bool
+	raised softfloat.Flags
+}
+
+// execFP executes a floating point instruction. It returns a non-nil
+// FPEvent when an unmasked exception fires (no writeback), and nil when
+// the instruction can retire (writeback done).
+func (m *Machine) execFP(inst *isa.Inst, info *isa.OpInfo, idx int, addr uint64) Event {
+	c := &m.CPU
+	env := c.MXCSR.Env()
+	var st fpStage
+	st.vec = c.X[inst.Rd]
+
+	switch info.Class {
+	case isa.ClassFPArith:
+		m.execArith(inst, info, env, &st)
+	case isa.ClassFMA:
+		m.execFMA(inst, info, env, &st)
+	case isa.ClassFPConvert:
+		m.execConvert(inst, info, env, &st)
+	case isa.ClassFPCompare:
+		m.execCompare(inst, info, env, &st)
+	case isa.ClassFPRound:
+		m.execRound(inst, info, env, &st)
+	case isa.ClassFPDot:
+		m.execDot(inst, info, env, &st)
+	}
+
+	// Sticky flags are updated whether or not the exception is masked.
+	unmasked := c.MXCSR.Unmasked(st.raised)
+	c.MXCSR.SetFlags(st.raised)
+	if unmasked != 0 {
+		return &FPEvent{Addr: addr, Index: idx, Raised: st.raised, Unmasked: unmasked}
+	}
+	if st.vecSet {
+		c.X[inst.Rd] = st.vec
+	}
+	if st.intSet {
+		c.setReg(inst.Rd, st.intVal)
+	}
+	return nil
+}
+
+// lane32 of a staged vector.
+func stLane32(v *[4]uint64, i int) uint32 {
+	return uint32(v[i/2] >> (32 * uint(i%2)))
+}
+
+func stSetLane32(v *[4]uint64, i int, x uint32) {
+	shift := 32 * uint(i%2)
+	v[i/2] = v[i/2]&^(uint64(0xFFFFFFFF)<<shift) | uint64(x)<<shift
+}
+
+func (m *Machine) execArith(inst *isa.Inst, info *isa.OpInfo, env softfloat.Env, st *fpStage) {
+	c := &m.CPU
+	st.vecSet = true
+	if info.Prec == isa.F64 {
+		for l := 0; l < info.Lanes; l++ {
+			a := c.X[inst.Rs1][l]
+			b := c.X[inst.Rs2][l]
+			var z uint64
+			var fl softfloat.Flags
+			switch info.FP {
+			case isa.FPAdd:
+				z, fl = softfloat.Add64(a, b, env)
+			case isa.FPSub:
+				z, fl = softfloat.Sub64(a, b, env)
+			case isa.FPMul:
+				z, fl = softfloat.Mul64(a, b, env)
+			case isa.FPDiv:
+				z, fl = softfloat.Div64(a, b, env)
+			case isa.FPSqrt:
+				z, fl = softfloat.Sqrt64(a, env)
+			case isa.FPMin:
+				z, fl = softfloat.Min64(a, b, env)
+			case isa.FPMax:
+				z, fl = softfloat.Max64(a, b, env)
+			}
+			st.vec[l] = z
+			st.raised |= fl
+		}
+		return
+	}
+	for l := 0; l < info.Lanes; l++ {
+		a := c.lane32(inst.Rs1, l)
+		b := c.lane32(inst.Rs2, l)
+		var z uint32
+		var fl softfloat.Flags
+		switch info.FP {
+		case isa.FPAdd:
+			z, fl = softfloat.Add32(a, b, env)
+		case isa.FPSub:
+			z, fl = softfloat.Sub32(a, b, env)
+		case isa.FPMul:
+			z, fl = softfloat.Mul32(a, b, env)
+		case isa.FPDiv:
+			z, fl = softfloat.Div32(a, b, env)
+		case isa.FPSqrt:
+			z, fl = softfloat.Sqrt32(a, env)
+		case isa.FPMin:
+			z, fl = softfloat.Min32(a, b, env)
+		case isa.FPMax:
+			z, fl = softfloat.Max32(a, b, env)
+		}
+		stSetLane32(&st.vec, l, z)
+		st.raised |= fl
+	}
+}
+
+// negSign64 flips the sign bit (exact, no flags), used for FMA variants.
+func negSign64(x uint64) uint64 { return x ^ 1<<63 }
+
+func negSign32(x uint32) uint32 { return x ^ 1<<31 }
+
+func (m *Machine) execFMA(inst *isa.Inst, info *isa.OpInfo, env softfloat.Env, st *fpStage) {
+	c := &m.CPU
+	st.vecSet = true
+	negProd := info.FMA == isa.FNMAdd || info.FMA == isa.FNMSub
+	negAdd := info.FMA == isa.FMSub || info.FMA == isa.FNMSub
+	if info.Prec == isa.F64 {
+		for l := 0; l < info.Lanes; l++ {
+			a := c.X[inst.Rs1][l]
+			b := c.X[inst.Rs2][l]
+			d := c.X[inst.Rs3][l]
+			if negProd {
+				a = negSign64(a)
+			}
+			if negAdd {
+				d = negSign64(d)
+			}
+			z, fl := softfloat.FMA64(a, b, d, env)
+			st.vec[l] = z
+			st.raised |= fl
+		}
+		return
+	}
+	for l := 0; l < info.Lanes; l++ {
+		a := c.lane32(inst.Rs1, l)
+		b := c.lane32(inst.Rs2, l)
+		d := c.lane32(inst.Rs3, l)
+		if negProd {
+			a = negSign32(a)
+		}
+		if negAdd {
+			d = negSign32(d)
+		}
+		z, fl := softfloat.FMA32(a, b, d, env)
+		stSetLane32(&st.vec, l, z)
+		st.raised |= fl
+	}
+}
+
+func (m *Machine) execConvert(inst *isa.Inst, info *isa.OpInfo, env softfloat.Env, st *fpStage) {
+	c := &m.CPU
+	switch info.Cvt {
+	case isa.CvtSD2SS:
+		z, fl := softfloat.F64ToF32(c.X[inst.Rs1][0], env)
+		st.vecSet = true
+		stSetLane32(&st.vec, 0, z)
+		st.raised = fl
+	case isa.CvtSS2SD:
+		z, fl := softfloat.F32ToF64(c.lane32(inst.Rs1, 0), env)
+		st.vecSet = true
+		st.vec[0] = z
+		st.raised = fl
+	case isa.CvtSI2SD:
+		st.vecSet = true
+		st.vec[0] = softfloat.I32ToF64(int32(c.reg(inst.Rs1)))
+	case isa.CvtSI2SDQ:
+		z, fl := softfloat.I64ToF64(int64(c.reg(inst.Rs1)), env)
+		st.vecSet = true
+		st.vec[0] = z
+		st.raised = fl
+	case isa.CvtSI2SS:
+		z, fl := softfloat.I32ToF32(int32(c.reg(inst.Rs1)), env)
+		st.vecSet = true
+		stSetLane32(&st.vec, 0, z)
+		st.raised = fl
+	case isa.CvtSI2SSQ:
+		z, fl := softfloat.I64ToF32(int64(c.reg(inst.Rs1)), env)
+		st.vecSet = true
+		stSetLane32(&st.vec, 0, z)
+		st.raised = fl
+	case isa.CvtSD2SI:
+		z, fl := softfloat.F64ToI32(c.X[inst.Rs1][0], env)
+		st.intSet = true
+		st.intVal = uint64(int64(z))
+		st.raised = fl
+	case isa.CvtTSD2SI:
+		z, fl := softfloat.F64ToI32Trunc(c.X[inst.Rs1][0], env)
+		st.intSet = true
+		st.intVal = uint64(int64(z))
+		st.raised = fl
+	case isa.CvtTSD2SIQ:
+		z, fl := softfloat.F64ToI64Trunc(c.X[inst.Rs1][0], env)
+		st.intSet = true
+		st.intVal = uint64(z)
+		st.raised = fl
+	case isa.CvtSS2SI:
+		z, fl := softfloat.F32ToI32(c.lane32(inst.Rs1, 0), env)
+		st.intSet = true
+		st.intVal = uint64(int64(z))
+		st.raised = fl
+	case isa.CvtTSS2SI:
+		z, fl := softfloat.F32ToI32Trunc(c.lane32(inst.Rs1, 0), env)
+		st.intSet = true
+		st.intVal = uint64(int64(z))
+		st.raised = fl
+	case isa.CvtPS2DQ:
+		st.vecSet = true
+		for l := 0; l < info.Lanes; l++ {
+			z, fl := softfloat.F32ToI32(c.lane32(inst.Rs1, l), env)
+			stSetLane32(&st.vec, l, uint32(z))
+			st.raised |= fl
+		}
+	}
+}
+
+func (m *Machine) execCompare(inst *isa.Inst, info *isa.OpInfo, env softfloat.Env, st *fpStage) {
+	c := &m.CPU
+	switch inst.Op {
+	case isa.OpCMPSD:
+		z, fl := softfloat.Cmp64(c.X[inst.Rs1][0], c.X[inst.Rs2][0], softfloat.CmpPredicate(inst.Imm), env)
+		st.vecSet = true
+		st.vec[0] = z
+		st.raised = fl
+	case isa.OpCMPSS:
+		z, fl := softfloat.Cmp32(c.lane32(inst.Rs1, 0), c.lane32(inst.Rs2, 0), softfloat.CmpPredicate(inst.Imm), env)
+		st.vecSet = true
+		stSetLane32(&st.vec, 0, z)
+		st.raised = fl
+	default:
+		var r softfloat.CmpResult
+		var fl softfloat.Flags
+		if info.Prec == isa.F64 {
+			if info.Signaling {
+				r, fl = softfloat.Comi64(c.X[inst.Rs1][0], c.X[inst.Rs2][0], env)
+			} else {
+				r, fl = softfloat.Ucomi64(c.X[inst.Rs1][0], c.X[inst.Rs2][0], env)
+			}
+		} else {
+			if info.Signaling {
+				r, fl = softfloat.Comi32(c.lane32(inst.Rs1, 0), c.lane32(inst.Rs2, 0), env)
+			} else {
+				r, fl = softfloat.Ucomi32(c.lane32(inst.Rs1, 0), c.lane32(inst.Rs2, 0), env)
+			}
+		}
+		st.intSet = true
+		st.intVal = uint64(int64(r))
+		st.raised = fl
+	}
+}
+
+func (m *Machine) execRound(inst *isa.Inst, info *isa.OpInfo, env softfloat.Env, st *fpStage) {
+	c := &m.CPU
+	imm := isa.RoundImm(inst.Imm)
+	rm := softfloat.RoundingMode(imm & 3)
+	if imm&isa.RoundImmMXCSR != 0 {
+		rm = env.RM
+	}
+	suppress := imm&isa.RoundImmNoInexact != 0
+	st.vecSet = true
+	if info.Prec == isa.F64 {
+		for l := 0; l < info.Lanes; l++ {
+			z, fl := softfloat.RoundToInt64(c.X[inst.Rs1][l], rm, suppress, env)
+			st.vec[l] = z
+			st.raised |= fl
+		}
+		return
+	}
+	for l := 0; l < info.Lanes; l++ {
+		z, fl := softfloat.RoundToInt32(c.lane32(inst.Rs1, l), rm, suppress, env)
+		stSetLane32(&st.vec, l, z)
+		st.raised |= fl
+	}
+}
+
+// execDot implements dpps/vdpps with an implied 0xFF mask: within each
+// 128-bit group, four products are summed pairwise and the sum is
+// broadcast to the group's lanes.
+func (m *Machine) execDot(inst *isa.Inst, info *isa.OpInfo, env softfloat.Env, st *fpStage) {
+	c := &m.CPU
+	st.vecSet = true
+	groups := info.Lanes / 4
+	for g := 0; g < groups; g++ {
+		var p [4]uint32
+		for i := 0; i < 4; i++ {
+			l := g*4 + i
+			z, fl := softfloat.Mul32(c.lane32(inst.Rs1, l), c.lane32(inst.Rs2, l), env)
+			p[i] = z
+			st.raised |= fl
+		}
+		s01, fl := softfloat.Add32(p[0], p[1], env)
+		st.raised |= fl
+		s23, fl2 := softfloat.Add32(p[2], p[3], env)
+		st.raised |= fl2
+		sum, fl3 := softfloat.Add32(s01, s23, env)
+		st.raised |= fl3
+		for i := 0; i < 4; i++ {
+			stSetLane32(&st.vec, g*4+i, sum)
+		}
+	}
+}

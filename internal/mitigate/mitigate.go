@@ -1,0 +1,294 @@
+// Package mitigate prototypes the rounding-mitigation system sketched in
+// Section 6 of the FPSpy paper: a trap-and-emulate bridge from hardware
+// floating point instructions to an arbitrary-precision software FPU, so
+// existing, unmodified binaries execute with higher precision "as
+// necessary, resulting in less or even no rounding". The paper names
+// MPFR as the software FPU; this reproduction uses math/big.Float, which
+// provides the same correctly-rounded arbitrary-precision arithmetic.
+//
+// Two pieces are provided:
+//
+//   - ShadowExecutor: runs a guest program while maintaining a shadow
+//     high-precision value for every vector register lane and every
+//     stored double, re-executing rounding instructions at a configurable
+//     precision. The divergence between the hardware results and the
+//     shadow results quantifies how much accuracy the mitigation
+//     recovers.
+//
+//   - Feasibility: the locality-based amortization model that Section 6's
+//     rank-popularity analysis motivates — whether patching the top-K
+//     rounding sites (or trap-and-emulating all of them) pays off.
+package mitigate
+
+import (
+	"math"
+	"math/big"
+
+	"repro/internal/analysis"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// ShadowExecutor runs a program on a machine while shadowing scalar
+// binary64 arithmetic at high precision.
+type ShadowExecutor struct {
+	// M is the guest machine.
+	M *machine.Machine
+	// Prec is the shadow mantissa precision in bits (53 = plain double).
+	Prec uint
+
+	regs [isa.NumVecRegs]*big.Float
+	mem  map[uint64]*big.Float
+
+	// Emulated counts the instructions re-executed in software.
+	Emulated uint64
+	// MaxRelError is the largest relative divergence observed between a
+	// hardware result and its shadow at a comparison point.
+	MaxRelError float64
+	// ErrSamples counts comparison points.
+	ErrSamples uint64
+}
+
+// NewShadowExecutor wraps a machine with a shadow FPU of the given
+// precision.
+func NewShadowExecutor(m *machine.Machine, prec uint) *ShadowExecutor {
+	return &ShadowExecutor{M: m, Prec: prec, mem: make(map[uint64]*big.Float)}
+}
+
+func (s *ShadowExecutor) newFloat() *big.Float {
+	return new(big.Float).SetPrec(s.Prec)
+}
+
+// shadowReg returns the shadow of a register lane 0, deriving it from
+// the hardware value when absent.
+func (s *ShadowExecutor) shadowReg(r uint8) *big.Float {
+	if s.regs[r] == nil {
+		s.regs[r] = s.newFloat().SetFloat64(math.Float64frombits(s.M.CPU.X[r][0]))
+	}
+	return s.regs[r]
+}
+
+func (s *ShadowExecutor) setShadowReg(r uint8, v *big.Float) {
+	s.regs[r] = v
+}
+
+// invalidateReg drops a shadow (hardware value takes over).
+func (s *ShadowExecutor) invalidateReg(r uint8) {
+	s.regs[r] = nil
+}
+
+// Run executes up to maxSteps instructions, shadowing scalar f64
+// arithmetic, and returns the events the machine produced. Unhandled
+// machine events (halt, fault) end the run.
+func (s *ShadowExecutor) Run(maxSteps uint64) machine.Event {
+	for i := uint64(0); i < maxSteps; i++ {
+		idx := s.M.Prog.IndexOf(s.M.CPU.RIP)
+		if idx < 0 {
+			return s.M.Step() // let the machine fault
+		}
+		inst := &s.M.Prog.Insts[idx]
+		// Operand shadows must be derived from the *pre-step* hardware
+		// state; after Step the destination may alias a source.
+		s.prefetch(inst)
+		ev := s.M.Step()
+		if ev != nil {
+			switch ev.(type) {
+			case *machine.CallCEvent, *machine.TrapEvent:
+				// Transparent to shadowing.
+				continue
+			default:
+				return ev
+			}
+		}
+		s.shadow(inst)
+	}
+	return nil
+}
+
+// prefetch materializes the shadows of an instruction's source operands
+// from the current (pre-execution) hardware state.
+func (s *ShadowExecutor) prefetch(inst *isa.Inst) {
+	info := inst.Op.Info()
+	switch info.Class {
+	case isa.ClassFPArith:
+		if info.Prec == isa.F64 && info.Lanes == 1 {
+			s.shadowReg(inst.Rs1)
+			s.shadowReg(inst.Rs2)
+		}
+	case isa.ClassFMA:
+		if info.Prec == isa.F64 && info.Lanes == 1 {
+			s.shadowReg(inst.Rs1)
+			s.shadowReg(inst.Rs2)
+			s.shadowReg(inst.Rs3)
+		}
+	case isa.ClassFPMove:
+		if inst.Op == isa.OpMOVSD && s.regs[inst.Rs1] == nil {
+			s.shadowReg(inst.Rs1)
+		}
+	}
+}
+
+// shadow re-executes one retired instruction on the shadow state.
+func (s *ShadowExecutor) shadow(inst *isa.Inst) {
+	info := inst.Op.Info()
+	switch info.Class {
+	case isa.ClassFPArith:
+		if info.Prec != isa.F64 || info.Lanes != 1 {
+			s.invalidateReg(inst.Rd)
+			return
+		}
+		a := s.shadowReg(inst.Rs1)
+		b := s.shadowReg(inst.Rs2)
+		z := s.newFloat()
+		switch info.FP {
+		case isa.FPAdd:
+			z.Add(a, b)
+		case isa.FPSub:
+			z.Sub(a, b)
+		case isa.FPMul:
+			z.Mul(a, b)
+		case isa.FPDiv:
+			if b.Sign() == 0 {
+				s.invalidateReg(inst.Rd)
+				return
+			}
+			z.Quo(a, b)
+		case isa.FPSqrt:
+			if a.Sign() < 0 {
+				s.invalidateReg(inst.Rd)
+				return
+			}
+			z.Sqrt(a)
+		case isa.FPMin:
+			if a.Cmp(b) < 0 {
+				z.Set(a)
+			} else {
+				z.Set(b)
+			}
+		case isa.FPMax:
+			if a.Cmp(b) > 0 {
+				z.Set(a)
+			} else {
+				z.Set(b)
+			}
+		}
+		s.setShadowReg(inst.Rd, z)
+		s.Emulated++
+	case isa.ClassFMA:
+		if info.Prec != isa.F64 || info.Lanes != 1 {
+			s.invalidateReg(inst.Rd)
+			return
+		}
+		a := s.shadowReg(inst.Rs1)
+		b := s.shadowReg(inst.Rs2)
+		c := s.shadowReg(inst.Rs3)
+		z := s.newFloat().Mul(a, b)
+		switch info.FMA {
+		case isa.FMAdd:
+			z.Add(z, c)
+		case isa.FMSub:
+			z.Sub(z, c)
+		case isa.FNMAdd:
+			z.Neg(z)
+			z.Add(z, c)
+		case isa.FNMSub:
+			z.Neg(z)
+			z.Sub(z, c)
+		}
+		s.setShadowReg(inst.Rd, z)
+		s.Emulated++
+	case isa.ClassFPMove:
+		switch inst.Op {
+		case isa.OpMOVSD:
+			if s.regs[inst.Rs1] != nil {
+				s.setShadowReg(inst.Rd, s.newFloat().Set(s.regs[inst.Rs1]))
+			} else {
+				s.invalidateReg(inst.Rd)
+			}
+		default:
+			s.invalidateReg(inst.Rd)
+		}
+	case isa.ClassMem:
+		switch inst.Op {
+		case isa.OpFLD:
+			ea := s.M.CPU.R[inst.Rs1] + uint64(inst.Imm)
+			if sv, ok := s.mem[ea]; ok {
+				s.setShadowReg(inst.Rd, s.newFloat().Set(sv))
+			} else {
+				s.invalidateReg(inst.Rd)
+			}
+		case isa.OpFST:
+			ea := s.M.CPU.R[inst.Rs1] + uint64(inst.Imm)
+			if sv := s.regs[inst.Rs2]; sv != nil {
+				s.mem[ea] = s.newFloat().Set(sv)
+				s.compare(inst.Rs2, sv)
+			} else {
+				delete(s.mem, ea)
+			}
+		case isa.OpFLDS, isa.OpFLDV:
+			s.invalidateReg(inst.Rd)
+		}
+	case isa.ClassFPConvert:
+		s.invalidateReg(inst.Rd)
+	}
+}
+
+// compare records the divergence between a hardware register and its
+// shadow at an observation point (a store).
+func (s *ShadowExecutor) compare(r uint8, shadow *big.Float) {
+	hw := math.Float64frombits(s.M.CPU.X[r][0])
+	sv, _ := shadow.Float64()
+	if math.IsNaN(hw) || math.IsNaN(sv) || math.IsInf(hw, 0) || math.IsInf(sv, 0) {
+		return
+	}
+	denom := math.Abs(sv)
+	if denom == 0 {
+		return
+	}
+	rel := math.Abs(hw-sv) / denom
+	s.ErrSamples++
+	if rel > s.MaxRelError {
+		s.MaxRelError = rel
+	}
+}
+
+// FeasibilityReport is the amortization analysis of Section 6: whether
+// the locality of rounding sites makes a mitigation system practical.
+type FeasibilityReport struct {
+	// Sites is the number of distinct rounding instruction addresses.
+	Sites int
+	// Forms is the number of distinct instruction forms.
+	Forms int
+	// Sites99 and Forms99 cover 99% of events.
+	Sites99, Forms99 int
+	// TotalEvents is the rounding event count.
+	TotalEvents uint64
+	// PatchCyclesPerEvent is the projected per-event cost with binary
+	// patching of the top sites amortized over the events they receive.
+	PatchCyclesPerEvent float64
+	// TrapCyclesPerEvent is the per-event cost of trap-and-emulate.
+	TrapCyclesPerEvent float64
+	// PatchWins reports whether patching beats trapping.
+	PatchWins bool
+}
+
+// Feasibility evaluates the mitigation cost model over rank-popularity
+// distributions: patching costs patchCycles once per site plus
+// emulCycles per event; trap-and-emulate costs trapCycles per event.
+func Feasibility(byAddr, byForm []analysis.RankEntry, patchCycles, emulCycles, trapCycles float64) FeasibilityReport {
+	total := analysis.TotalEvents(byAddr)
+	rep := FeasibilityReport{
+		Sites:       len(byAddr),
+		Forms:       len(byForm),
+		Sites99:     analysis.CoverageCount(byAddr, 0.99),
+		Forms99:     analysis.CoverageCount(byForm, 0.99),
+		TotalEvents: total,
+	}
+	if total == 0 {
+		return rep
+	}
+	rep.PatchCyclesPerEvent = (patchCycles*float64(rep.Sites) + emulCycles*float64(total)) / float64(total)
+	rep.TrapCyclesPerEvent = trapCycles
+	rep.PatchWins = rep.PatchCyclesPerEvent < rep.TrapCyclesPerEvent
+	return rep
+}

@@ -1,0 +1,194 @@
+package mitigate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// buildSummation builds a program that sums 0.1 N times into x0 and
+// stores the result — a classic error-accumulation kernel.
+func buildSummation(n int64) *isa.Program {
+	b := isa.NewBuilder("summation")
+	b.Movi(isa.R6, int64(math.Float64bits(0.1)))
+	b.Movqx(isa.X1, isa.R6)
+	b.Movi(isa.R6, 0)
+	b.Movqx(isa.X0, isa.R6)
+	b.Movi(isa.R8, 0)
+	b.Movi(isa.R9, n)
+	top := b.Label("top")
+	b.Bind(top)
+	b.FP2(isa.OpADDSD, isa.X0, isa.X0, isa.X1)
+	b.Addi(isa.R8, isa.R8, 1)
+	b.Blt(isa.R8, isa.R9, top)
+	b.Movi(isa.R10, 64)
+	b.Fst(isa.R10, 0, isa.X0)
+	b.Hlt()
+	return b.Build()
+}
+
+func TestShadowExecutorMeasuresAccumulatedError(t *testing.T) {
+	const n = 100000
+	m := machine.New(buildSummation(n), 4096)
+	sh := NewShadowExecutor(m, 256)
+	ev := sh.Run(10_000_000)
+	if _, ok := ev.(*machine.HaltEvent); !ok {
+		t.Fatalf("run ended with %T", ev)
+	}
+	if sh.Emulated < n {
+		t.Errorf("emulated = %d, want >= %d", sh.Emulated, n)
+	}
+	if sh.ErrSamples == 0 {
+		t.Fatal("no comparison points")
+	}
+	// Hardware result drifts from the shadow: 0.1 is not representable,
+	// and n additions accumulate noticeable error.
+	hw := math.Float64frombits(m.CPU.X[isa.X0][0])
+	if math.Abs(hw-n*0.1) < 1e-12 {
+		t.Log("hardware summation unexpectedly accurate") // not fatal
+	}
+	if sh.MaxRelError <= 0 {
+		t.Errorf("max relative error = %v, want > 0", sh.MaxRelError)
+	}
+	if sh.MaxRelError > 1e-6 {
+		t.Errorf("max relative error = %v, implausibly large", sh.MaxRelError)
+	}
+}
+
+func TestShadowPrecision53MatchesHardware(t *testing.T) {
+	// At 53-bit shadow precision the software FPU rounds exactly like
+	// the hardware, so no divergence can appear.
+	m := machine.New(buildSummation(5000), 4096)
+	sh := NewShadowExecutor(m, 53)
+	if ev := sh.Run(10_000_000); ev == nil {
+		t.Fatal("did not halt")
+	}
+	if sh.MaxRelError != 0 {
+		t.Errorf("53-bit shadow diverged: %v", sh.MaxRelError)
+	}
+}
+
+func TestFeasibilityModel(t *testing.T) {
+	// Heavy skew: one hot site takes nearly all events. Patching wins
+	// when per-event emulation is cheaper than the trap cost.
+	byAddr := []analysis.RankEntry{{Key: "0x400010", Count: 1_000_000}, {Key: "0x400020", Count: 10}}
+	byForm := []analysis.RankEntry{{Key: "mulsd", Count: 1_000_000}, {Key: "divsd", Count: 10}}
+	rep := Feasibility(byAddr, byForm, 50_000, 150, 4_000)
+	if !rep.PatchWins {
+		t.Errorf("patching should win: %+v", rep)
+	}
+	if rep.Sites99 != 1 || rep.Forms99 != 1 {
+		t.Errorf("coverage: %+v", rep)
+	}
+	// Without locality (every event on its own site) patching loses.
+	var flat []analysis.RankEntry
+	for i := 0; i < 1000; i++ {
+		flat = append(flat, analysis.RankEntry{Key: analysisKey(i), Count: 1})
+	}
+	rep2 := Feasibility(flat, byForm, 50_000, 150, 4_000)
+	if rep2.PatchWins {
+		t.Errorf("patching should lose without locality: %+v", rep2)
+	}
+	// Empty input.
+	rep3 := Feasibility(nil, nil, 1, 1, 1)
+	if rep3.TotalEvents != 0 || rep3.PatchWins {
+		t.Errorf("empty: %+v", rep3)
+	}
+}
+
+func analysisKey(i int) string {
+	return string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune('A'+i/260))
+}
+
+// buildFMAChain exercises every shadowed instruction class: FMA variants,
+// min/max, movsd, sqrt.
+func buildFMAChain() *isa.Program {
+	b := isa.NewBuilder("fmachain")
+	b.Movi(isa.R6, int64(math.Float64bits(0.3)))
+	b.Movqx(isa.X0, isa.R6)
+	b.Movi(isa.R6, int64(math.Float64bits(0.7)))
+	b.Movqx(isa.X1, isa.R6)
+	b.Movi(isa.R6, int64(math.Float64bits(1.1)))
+	b.Movqx(isa.X2, isa.R6)
+	b.FMA(isa.OpVFMADDSD, isa.X3, isa.X0, isa.X1, isa.X2)  // 0.3*0.7+1.1
+	b.FMA(isa.OpVFNMSUBSD, isa.X4, isa.X0, isa.X1, isa.X3) // -(ab)-c
+	b.FP2(isa.OpMINSD, isa.X5, isa.X3, isa.X4)
+	b.FP2(isa.OpMAXSD, isa.X6, isa.X3, isa.X4)
+	b.Movsd(isa.X7, isa.X3)
+	b.FP1(isa.OpSQRTSD, isa.X8, isa.X2)
+	b.FP2(isa.OpDIVSD, isa.X9, isa.X3, isa.X1)
+	b.Movi(isa.R10, 128)
+	b.Fst(isa.R10, 0, isa.X9)
+	b.Hlt()
+	return b.Build()
+}
+
+func TestShadowCoversFMAAndSelects(t *testing.T) {
+	m := machine.New(buildFMAChain(), 4096)
+	sh := NewShadowExecutor(m, 256)
+	ev := sh.Run(1000)
+	if _, ok := ev.(*machine.HaltEvent); !ok {
+		t.Fatalf("ended with %T", ev)
+	}
+	if sh.Emulated < 4 {
+		t.Errorf("emulated = %d", sh.Emulated)
+	}
+	// Hardware and shadow agree on the well-conditioned chain within
+	// float64 rounding.
+	want := (0.3*0.7 + 1.1) / 0.7 // approximately; FMA differences are sub-ulp here
+	got := math.Float64frombits(m.CPU.X[isa.X9][0])
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("chain result %v, want ~%v", got, want)
+	}
+	if sh.MaxRelError > 1e-12 {
+		t.Errorf("divergence %v on a 7-op chain", sh.MaxRelError)
+	}
+}
+
+func TestShadowInvalidation(t *testing.T) {
+	// A register overwritten by an unshadowed op (packed) must not keep
+	// a stale shadow.
+	b := isa.NewBuilder("inval")
+	b.Movi(isa.R6, int64(math.Float64bits(0.1)))
+	b.Movqx(isa.X0, isa.R6)
+	b.Movi(isa.R6, int64(math.Float64bits(0.2)))
+	b.Movqx(isa.X1, isa.R6)
+	b.FP2(isa.OpADDSD, isa.X2, isa.X0, isa.X1) // shadow for x2
+	b.FP2(isa.OpADDPD, isa.X2, isa.X0, isa.X1) // packed: invalidates
+	b.FP2(isa.OpMULSD, isa.X3, isa.X2, isa.X1) // re-derives from hw
+	b.Movi(isa.R10, 128)
+	b.Fst(isa.R10, 0, isa.X3)
+	b.Hlt()
+	m := machine.New(b.Build(), 4096)
+	sh := NewShadowExecutor(m, 256)
+	if ev := sh.Run(1000); ev == nil {
+		t.Fatal("no halt")
+	}
+	point1, point2 := 0.1, 0.2
+	want := (point1 + point2) * point2
+	got := math.Float64frombits(m.CPU.X[isa.X3][0])
+	if got != want {
+		t.Errorf("result %v, want %v", got, want)
+	}
+	if sh.MaxRelError != 0 {
+		// The re-derived shadow starts from the hardware value, so the
+		// single multiply cannot diverge.
+		t.Errorf("divergence %v after invalidation", sh.MaxRelError)
+	}
+}
+
+func TestShadowRunStopsOnFault(t *testing.T) {
+	b := isa.NewBuilder("fault")
+	b.Movi(isa.R1, 1<<40)
+	b.Ld(isa.R2, isa.R1, 0)
+	b.Hlt()
+	m := machine.New(b.Build(), 256)
+	sh := NewShadowExecutor(m, 64)
+	ev := sh.Run(100)
+	if _, ok := ev.(*machine.FaultEvent); !ok {
+		t.Fatalf("ended with %T, want fault", ev)
+	}
+}

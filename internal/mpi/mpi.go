@@ -1,0 +1,148 @@
+// Package mpi provides the distributed-memory substrate the study's MPI
+// applications (LAMMPS, LAGHOS, WRF, ENZO, GROMACS) rely on: an
+// mpirun-style launcher that starts N ranks of the same binary, and a
+// small message-passing library (libmpi.so) linked into each rank.
+//
+// The paper's point about MPI is operational, and this reproduction
+// preserves it exactly: FPSpy attaches to MPI jobs *because environment
+// variables are inherited through the launcher* — mpirun simply starts
+// each rank with LD_PRELOAD and the FPE_* settings intact, and FPSpy
+// produces an independent trace for every rank (distinct pid) and thread.
+//
+// Message passing is polling-based (MPI_Iprobe style): receives and
+// barriers return a readiness flag and the guest loops, which keeps the
+// cooperative scheduler deterministic.
+//
+// Guest interface (callc):
+//
+//	MPI_Comm_rank                    -> r1 = rank
+//	MPI_Comm_size                    -> r1 = size
+//	MPI_Send      (r1=dest, r2=val)  -> r1 = 0
+//	MPI_Recv_poll (r1=src)           -> r1 = ok, r2 = value
+//	MPI_Barrier_poll                 -> r1 = ok
+package mpi
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/isa"
+	"repro/internal/kernel"
+)
+
+// PreloadName is the shared object name of the MPI library.
+const PreloadName = "libmpi.so"
+
+// World is the communicator state shared by all ranks of one job.
+type World struct {
+	size int
+	// boxes[src*size+dst] is the in-flight message queue.
+	boxes map[int][]uint64
+	// barrier state: barriersDone counts fully-released barriers;
+	// completed[r] counts barriers rank r has passed; arrived marks
+	// ranks waiting at the barrier currently forming.
+	barriersDone int
+	completed    map[int]int
+	arrived      map[int]bool
+	// Sends counts messages for diagnostics.
+	Sends uint64
+}
+
+// NewWorld creates communicator state for size ranks.
+func NewWorld(size int) *World {
+	return &World{
+		size:      size,
+		boxes:     make(map[int][]uint64),
+		completed: make(map[int]int),
+		arrived:   make(map[int]bool),
+	}
+}
+
+// rankOf reads a process's rank from its environment.
+func rankOf(p *kernel.Process) int {
+	r, _ := strconv.Atoi(p.Env["MPI_RANK"])
+	return r
+}
+
+// factory builds the per-process library object bound to the world.
+func factory(w *World) kernel.ObjectFactory {
+	return func(p *kernel.Process) *kernel.Object {
+		o := &kernel.Object{Name: PreloadName, Syms: map[string]kernel.Symbol{}}
+		s := o.Syms
+		s["MPI_Comm_rank"] = func(k *kernel.Kernel, t *kernel.Task) {
+			t.M.CPU.R[isa.R1] = uint64(rankOf(t.Proc))
+		}
+		s["MPI_Comm_size"] = func(k *kernel.Kernel, t *kernel.Task) {
+			t.M.CPU.R[isa.R1] = uint64(w.size)
+		}
+		s["MPI_Send"] = func(k *kernel.Kernel, t *kernel.Task) {
+			dst := int(t.M.CPU.R[isa.R1])
+			val := t.M.CPU.R[isa.R2]
+			key := rankOf(t.Proc)*w.size + dst%w.size
+			w.boxes[key] = append(w.boxes[key], val)
+			w.Sends++
+			t.M.CPU.R[isa.R1] = 0
+		}
+		s["MPI_Recv_poll"] = func(k *kernel.Kernel, t *kernel.Task) {
+			src := int(t.M.CPU.R[isa.R1])
+			key := (src%w.size)*w.size + rankOf(t.Proc)
+			q := w.boxes[key]
+			if len(q) == 0 {
+				t.M.CPU.R[isa.R1] = 0
+				return
+			}
+			t.M.CPU.R[isa.R1] = 1
+			t.M.CPU.R[isa.R2] = q[0]
+			w.boxes[key] = q[1:]
+		}
+		s["MPI_Barrier_poll"] = func(k *kernel.Kernel, t *kernel.Task) {
+			me := rankOf(t.Proc)
+			if w.completed[me] < w.barriersDone {
+				// Released by an arrival that completed while this rank
+				// was between polls.
+				w.completed[me]++
+				t.M.CPU.R[isa.R1] = 1
+				return
+			}
+			w.arrived[me] = true
+			if len(w.arrived) == w.size {
+				w.barriersDone++
+				w.arrived = make(map[int]bool)
+				w.completed[me]++
+				t.M.CPU.R[isa.R1] = 1
+				return
+			}
+			t.M.CPU.R[isa.R1] = 0
+		}
+		return o
+	}
+}
+
+// Launch starts an MPI job: ranks processes of prog, each with MPI_RANK
+// and MPI_SIZE in its environment, LD_PRELOAD extended with libmpi.so
+// after whatever the caller already put there (FPSpy, typically — the
+// production launch path).
+func Launch(k *kernel.Kernel, prog *isa.Program, ranks, memBytes int, env map[string]string) (*World, []*kernel.Process, error) {
+	w := NewWorld(ranks)
+	k.RegisterPreload(PreloadName, factory(w))
+	procs := make([]*kernel.Process, 0, ranks)
+	for r := 0; r < ranks; r++ {
+		rankEnv := make(map[string]string, len(env)+3)
+		for key, v := range env {
+			rankEnv[key] = v
+		}
+		if ld := rankEnv["LD_PRELOAD"]; ld != "" {
+			rankEnv["LD_PRELOAD"] = ld + ":" + PreloadName
+		} else {
+			rankEnv["LD_PRELOAD"] = PreloadName
+		}
+		rankEnv["MPI_RANK"] = strconv.Itoa(r)
+		rankEnv["MPI_SIZE"] = strconv.Itoa(ranks)
+		p, err := k.Spawn(prog, memBytes, rankEnv)
+		if err != nil {
+			return nil, nil, fmt.Errorf("mpi: rank %d: %w", r, err)
+		}
+		procs = append(procs, p)
+	}
+	return w, procs, nil
+}

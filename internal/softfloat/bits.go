@@ -1,0 +1,100 @@
+package softfloat
+
+import "math/bits"
+
+// shiftRightJam64 shifts a right by count bits, ORing any bits shifted out
+// into the least significant bit of the result ("jamming" the sticky bit).
+// Counts of 64 or more collapse a to 0 or 1.
+func shiftRightJam64(a uint64, count uint) uint64 {
+	if count == 0 {
+		return a
+	}
+	if count < 64 {
+		out := a >> count
+		if a<<(64-count) != 0 {
+			out |= 1
+		}
+		return out
+	}
+	if a != 0 {
+		return 1
+	}
+	return 0
+}
+
+// shiftRightJam32 is the 32-bit version of shiftRightJam64.
+func shiftRightJam32(a uint32, count uint) uint32 {
+	if count == 0 {
+		return a
+	}
+	if count < 32 {
+		out := a >> count
+		if a<<(32-count) != 0 {
+			out |= 1
+		}
+		return out
+	}
+	if a != 0 {
+		return 1
+	}
+	return 0
+}
+
+// shiftRightJam128 shifts the 128-bit value hi:lo right by count bits with
+// sticky jamming, returning the new 128-bit value.
+func shiftRightJam128(hi, lo uint64, count uint) (uint64, uint64) {
+	switch {
+	case count == 0:
+		return hi, lo
+	case count < 64:
+		sticky := uint64(0)
+		if lo<<(64-count) != 0 {
+			sticky = 1
+		}
+		return hi >> count, hi<<(64-count) | lo>>count | sticky
+	case count == 64:
+		sticky := uint64(0)
+		if lo != 0 {
+			sticky = 1
+		}
+		return 0, hi | sticky
+	case count < 128:
+		sticky := uint64(0)
+		if lo != 0 || hi<<(128-count) != 0 {
+			sticky = 1
+		}
+		return 0, hi>>(count-64) | sticky
+	default:
+		if hi|lo != 0 {
+			return 0, 1
+		}
+		return 0, 0
+	}
+}
+
+// add128 returns the 128-bit sum of two 128-bit values.
+func add128(aHi, aLo, bHi, bLo uint64) (uint64, uint64) {
+	lo, carry := bits.Add64(aLo, bLo, 0)
+	hi, _ := bits.Add64(aHi, bHi, carry)
+	return hi, lo
+}
+
+// sub128 returns the 128-bit difference aHi:aLo - bHi:bLo.
+func sub128(aHi, aLo, bHi, bLo uint64) (uint64, uint64) {
+	lo, borrow := bits.Sub64(aLo, bLo, 0)
+	hi, _ := bits.Sub64(aHi, bHi, borrow)
+	return hi, lo
+}
+
+// lt128 reports whether aHi:aLo < bHi:bLo.
+func lt128(aHi, aLo, bHi, bLo uint64) bool {
+	return aHi < bHi || (aHi == bHi && aLo < bLo)
+}
+
+// shortShiftLeft128 shifts hi:lo left by count (< 64) bits.
+func shortShiftLeft128(hi, lo uint64, count uint) (uint64, uint64) {
+	if count == 0 {
+		return hi, lo
+	}
+	return hi<<count | lo>>(64-count), lo << count
+}

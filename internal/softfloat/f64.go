@@ -1,0 +1,496 @@
+package softfloat
+
+import (
+	"math"
+	"math/bits"
+)
+
+// frac64 extracts the 52-bit fraction field.
+func frac64(x uint64) uint64 { return x & f64FracMask }
+
+// exp64 extracts the 11-bit biased exponent field.
+func exp64(x uint64) int32 { return int32((x >> 52) & 0x7FF) }
+
+// sign64 extracts the sign bit.
+func sign64(x uint64) bool { return x>>63 != 0 }
+
+// pack64 assembles a binary64 value. sig may include the hidden bit at
+// position 52, in which case it carries into the exponent field; this is
+// relied upon throughout the rounding paths.
+func pack64(sign bool, exp int32, sig uint64) uint64 {
+	s := uint64(0)
+	if sign {
+		s = f64SignMask
+	}
+	return s + uint64(exp)<<52 + sig
+}
+
+// packZero64 returns a signed zero.
+func packZero64(sign bool) uint64 {
+	if sign {
+		return f64SignMask
+	}
+	return 0
+}
+
+// packInf64 returns a signed infinity.
+func packInf64(sign bool) uint64 {
+	if sign {
+		return f64SignMask | f64PosInf
+	}
+	return f64PosInf
+}
+
+// normSubnormal64 normalizes a denormal fraction, returning the exponent
+// and significand with the leading bit at position 52.
+func normSubnormal64(frac uint64) (exp int32, sig uint64) {
+	shift := int32(bits.LeadingZeros64(frac)) - 11
+	return 1 - shift, frac << uint(shift)
+}
+
+// roundPack64 rounds and packs a binary64 result. sig holds the
+// significand with its leading (hidden) bit at position 62 and ten
+// guard/sticky bits in positions 9..0; the represented value is
+// (sig / 2^62) * 2^(exp+1-bias). Overflow, underflow (tininess after
+// rounding, masked semantics), inexactness and FTZ flushing are detected
+// here.
+func roundPack64(sign bool, exp int32, sig uint64, env Env, fl *Flags) uint64 {
+	var inc uint64
+	switch env.RM {
+	case RoundNearestEven:
+		inc = 0x200
+	case RoundToZero:
+		inc = 0
+	case RoundDown:
+		if sign {
+			inc = 0x3FF
+		}
+	case RoundUp:
+		if !sign {
+			inc = 0x3FF
+		}
+	}
+	roundBits := sig & 0x3FF
+	if exp >= 0x7FD {
+		if exp > 0x7FD || (exp == 0x7FD && int64(sig+inc) < 0) {
+			*fl |= FlagOverflow | FlagInexact
+			if inc == 0 {
+				return pack64(sign, 0x7FE, f64FracMask)
+			}
+			return packInf64(sign)
+		}
+	}
+	if exp < 0 {
+		if env.FTZ {
+			// Flush-to-zero: tiny results become signed zero with
+			// underflow and inexact raised, matching masked-FTZ SSE.
+			*fl |= FlagUnderflow | FlagInexact
+			return packZero64(sign)
+		}
+		isTiny := exp < -1 || sig+inc < f64SignMask
+		sig = shiftRightJam64(sig, uint(-exp))
+		exp = 0
+		roundBits = sig & 0x3FF
+		if isTiny && roundBits != 0 {
+			*fl |= FlagUnderflow
+		}
+	}
+	if roundBits != 0 {
+		*fl |= FlagInexact
+	}
+	sig = (sig + inc) >> 10
+	if roundBits == 0x200 && env.RM == RoundNearestEven {
+		sig &^= 1
+	}
+	if sig == 0 {
+		exp = 0
+	}
+	return pack64(sign, exp, sig)
+}
+
+// normRoundPack64 left-normalizes sig (leading bit anywhere) to position
+// 62 and then rounds and packs.
+func normRoundPack64(sign bool, exp int32, sig uint64, env Env, fl *Flags) uint64 {
+	shift := int32(bits.LeadingZeros64(sig)) - 1
+	return roundPack64(sign, exp-shift, sig<<uint(shift), env, fl)
+}
+
+// daz64 applies denormals-are-zero to an operand, or raises the Denormal
+// flag when DAZ is off and the operand is denormal. It returns the
+// possibly substituted operand.
+func daz64(x uint64, env Env, fl *Flags) uint64 {
+	if IsDenormal64(x) {
+		if env.DAZ {
+			return x & f64SignMask
+		}
+		*fl |= FlagDenormal
+	}
+	return x
+}
+
+// addSigs64 adds the magnitudes of a and b (same effective sign zSign).
+func addSigs64(a, b uint64, zSign bool, env Env, fl *Flags) uint64 {
+	aSig, bSig := frac64(a), frac64(b)
+	aExp, bExp := exp64(a), exp64(b)
+	expDiff := aExp - bExp
+	aSig <<= 9
+	bSig <<= 9
+	var zExp int32
+	var zSig uint64
+	switch {
+	case expDiff > 0:
+		if aExp == 0x7FF {
+			if aSig != 0 {
+				return propagateNaN64(a, b, fl)
+			}
+			return a
+		}
+		if bExp == 0 {
+			expDiff--
+		} else {
+			bSig |= uint64(1) << 61
+		}
+		bSig = shiftRightJam64(bSig, uint(expDiff))
+		zExp = aExp
+	case expDiff < 0:
+		if bExp == 0x7FF {
+			if bSig != 0 {
+				return propagateNaN64(a, b, fl)
+			}
+			return packInf64(zSign)
+		}
+		if aExp == 0 {
+			expDiff++
+		} else {
+			aSig |= uint64(1) << 61
+		}
+		aSig = shiftRightJam64(aSig, uint(-expDiff))
+		zExp = bExp
+	default:
+		if aExp == 0x7FF {
+			if aSig|bSig != 0 {
+				return propagateNaN64(a, b, fl)
+			}
+			return a
+		}
+		if aExp == 0 {
+			// Both denormal (or zero): the sum cannot round and may
+			// carry naturally into the smallest normal exponent.
+			return pack64(zSign, 0, (aSig+bSig)>>9)
+		}
+		zSig = uint64(1)<<62 + aSig + bSig
+		return roundPack64(zSign, aExp, zSig, env, fl)
+	}
+	aSig |= uint64(1) << 61
+	zSig = (aSig + bSig) << 1
+	zExp--
+	if int64(zSig) < 0 {
+		zSig = aSig + bSig
+		zExp++
+	}
+	return roundPack64(zSign, zExp, zSig, env, fl)
+}
+
+// subSigs64 subtracts the magnitude of b from a (result sign zSign when
+// |a| > |b|, flipped when |b| > |a|).
+func subSigs64(a, b uint64, zSign bool, env Env, fl *Flags) uint64 {
+	aSig, bSig := frac64(a), frac64(b)
+	aExp, bExp := exp64(a), exp64(b)
+	expDiff := aExp - bExp
+	aSig <<= 10
+	bSig <<= 10
+	var zExp int32
+	var zSig uint64
+	switch {
+	case expDiff > 0:
+		if aExp == 0x7FF {
+			if aSig != 0 {
+				return propagateNaN64(a, b, fl)
+			}
+			return a
+		}
+		if bExp == 0 {
+			expDiff--
+		} else {
+			bSig |= uint64(1) << 62
+		}
+		bSig = shiftRightJam64(bSig, uint(expDiff))
+		aSig |= uint64(1) << 62
+		zSig = aSig - bSig
+		zExp = aExp
+	case expDiff < 0:
+		if bExp == 0x7FF {
+			if bSig != 0 {
+				return propagateNaN64(a, b, fl)
+			}
+			return packInf64(!zSign)
+		}
+		if aExp == 0 {
+			expDiff++
+		} else {
+			aSig |= uint64(1) << 62
+		}
+		aSig = shiftRightJam64(aSig, uint(-expDiff))
+		bSig |= uint64(1) << 62
+		zSig = bSig - aSig
+		zExp = bExp
+		zSign = !zSign
+	default:
+		if aExp == 0x7FF {
+			if aSig|bSig != 0 {
+				return propagateNaN64(a, b, fl)
+			}
+			// inf - inf
+			*fl |= FlagInvalid
+			return f64DefaultNaN
+		}
+		if aExp == 0 {
+			aExp = 1
+			bExp = 1
+		}
+		switch {
+		case bSig < aSig:
+			zSig = aSig - bSig
+			zExp = aExp
+		case aSig < bSig:
+			zSig = bSig - aSig
+			zExp = aExp
+			zSign = !zSign
+		default:
+			// Exact zero result: sign is negative only under RD.
+			return packZero64(env.RM == RoundDown)
+		}
+	}
+	return normRoundPack64(zSign, zExp-1, zSig, env, fl)
+}
+
+// Add64 computes a + b on binary64 bit patterns with SSE addsd semantics,
+// returning the result pattern and raised flags.
+func Add64(a, b uint64, env Env) (uint64, Flags) {
+	var fl Flags
+	a = daz64(a, env, &fl)
+	b = daz64(b, env, &fl)
+	var z uint64
+	if sign64(a) == sign64(b) {
+		z = addSigs64(a, b, sign64(a), env, &fl)
+	} else {
+		z = subSigs64(a, b, sign64(a), env, &fl)
+	}
+	return z, fl
+}
+
+// Sub64 computes a - b with SSE subsd semantics.
+func Sub64(a, b uint64, env Env) (uint64, Flags) {
+	var fl Flags
+	a = daz64(a, env, &fl)
+	b = daz64(b, env, &fl)
+	var z uint64
+	if sign64(a) == sign64(b) {
+		z = subSigs64(a, b, sign64(a), env, &fl)
+	} else {
+		z = addSigs64(a, b, sign64(a), env, &fl)
+	}
+	return z, fl
+}
+
+// Mul64 computes a * b with SSE mulsd semantics.
+func Mul64(a, b uint64, env Env) (uint64, Flags) {
+	var fl Flags
+	a = daz64(a, env, &fl)
+	b = daz64(b, env, &fl)
+	aSig, bSig := frac64(a), frac64(b)
+	aExp, bExp := exp64(a), exp64(b)
+	zSign := sign64(a) != sign64(b)
+	if aExp == 0x7FF {
+		if aSig != 0 || (bExp == 0x7FF && bSig != 0) {
+			return propagateNaN64(a, b, &fl), fl
+		}
+		if bExp|int32(bSig) == 0 {
+			fl |= FlagInvalid
+			return f64DefaultNaN, fl
+		}
+		return packInf64(zSign), fl
+	}
+	if bExp == 0x7FF {
+		if bSig != 0 {
+			return propagateNaN64(a, b, &fl), fl
+		}
+		if aExp|int32(aSig) == 0 {
+			fl |= FlagInvalid
+			return f64DefaultNaN, fl
+		}
+		return packInf64(zSign), fl
+	}
+	if aExp == 0 {
+		if aSig == 0 {
+			return packZero64(zSign), fl
+		}
+		aExp, aSig = normSubnormal64(aSig)
+	}
+	if bExp == 0 {
+		if bSig == 0 {
+			return packZero64(zSign), fl
+		}
+		bExp, bSig = normSubnormal64(bSig)
+	}
+	zExp := aExp + bExp - 0x3FF
+	aSig = (aSig | uint64(1)<<52) << 10
+	bSig = (bSig | uint64(1)<<52) << 11
+	zSig, zSigLo := bits.Mul64(aSig, bSig)
+	if zSigLo != 0 {
+		zSig |= 1
+	}
+	if int64(zSig<<1) >= 0 {
+		zSig <<= 1
+		zExp--
+	}
+	return roundPack64(zSign, zExp, zSig, env, &fl), fl
+}
+
+// Div64 computes a / b with SSE divsd semantics.
+func Div64(a, b uint64, env Env) (uint64, Flags) {
+	var fl Flags
+	a = daz64(a, env, &fl)
+	b = daz64(b, env, &fl)
+	aSig, bSig := frac64(a), frac64(b)
+	aExp, bExp := exp64(a), exp64(b)
+	zSign := sign64(a) != sign64(b)
+	if aExp == 0x7FF {
+		if aSig != 0 {
+			return propagateNaN64(a, b, &fl), fl
+		}
+		if bExp == 0x7FF {
+			if bSig != 0 {
+				return propagateNaN64(a, b, &fl), fl
+			}
+			fl |= FlagInvalid // inf / inf
+			return f64DefaultNaN, fl
+		}
+		return packInf64(zSign), fl
+	}
+	if bExp == 0x7FF {
+		if bSig != 0 {
+			return propagateNaN64(a, b, &fl), fl
+		}
+		return packZero64(zSign), fl
+	}
+	if bExp == 0 {
+		if bSig == 0 {
+			if aExp|int32(aSig) == 0 {
+				fl |= FlagInvalid // 0 / 0
+				return f64DefaultNaN, fl
+			}
+			fl |= FlagDivideByZero
+			return packInf64(zSign), fl
+		}
+		bExp, bSig = normSubnormal64(bSig)
+	}
+	if aExp == 0 {
+		if aSig == 0 {
+			return packZero64(zSign), fl
+		}
+		aExp, aSig = normSubnormal64(aSig)
+	}
+	zExp := aExp - bExp + 0x3FD
+	aSig = (aSig | uint64(1)<<52) << 10
+	bSig = (bSig | uint64(1)<<52) << 11
+	if bSig <= aSig+aSig {
+		aSig >>= 1
+		zExp++
+	}
+	// aSig < bSig here, so the 128-by-64 division is well defined and
+	// yields the exact floor quotient of (aSig * 2^64) / bSig, which lands
+	// in [2^62, 2^63) — the hidden-bit position roundPack64 expects.
+	zSig, rem := bits.Div64(aSig, 0, bSig)
+	if rem != 0 {
+		zSig |= 1
+	}
+	return roundPack64(zSign, zExp, zSig, env, &fl), fl
+}
+
+// Sqrt64 computes sqrt(a) with SSE sqrtsd semantics.
+func Sqrt64(a uint64, env Env) (uint64, Flags) {
+	var fl Flags
+	a = daz64(a, env, &fl)
+	aSig := frac64(a)
+	aExp := exp64(a)
+	aSign := sign64(a)
+	if aExp == 0x7FF {
+		if aSig != 0 {
+			return propagateNaN64(a, a, &fl), fl
+		}
+		if !aSign {
+			return a, fl // +inf
+		}
+		fl |= FlagInvalid
+		return f64DefaultNaN, fl
+	}
+	if aSign {
+		if aExp|int32(aSig) == 0 {
+			return a, fl // -0
+		}
+		fl |= FlagInvalid
+		return f64DefaultNaN, fl
+	}
+	if aExp == 0 {
+		if aSig == 0 {
+			return a, fl // +0
+		}
+		aExp, aSig = normSubnormal64(aSig)
+	}
+	// Scale so the radicand R = m << 72 spans [2^124, 2^126) with an even
+	// shift of the exponent, giving floor(sqrt(R)) in [2^62, 2^63).
+	e := aExp - 0x3FF
+	m := aSig | uint64(1)<<52
+	if e&1 != 0 {
+		m <<= 1
+		e--
+	}
+	rHi, rLo := shl128(m, 72)
+	q, exact := isqrt128(rHi, rLo)
+	if !exact {
+		q |= 1
+	}
+	zExp := e/2 + 0x3FE
+	return roundPack64(false, zExp, q, env, &fl), fl
+}
+
+// shl128 shifts a 64-bit value left by count (0..127) into a 128-bit value.
+func shl128(v uint64, count uint) (hi, lo uint64) {
+	if count >= 64 {
+		return v << (count - 64), 0
+	}
+	if count == 0 {
+		return 0, v
+	}
+	return v >> (64 - count), v << count
+}
+
+// isqrt128 returns floor(sqrt(hi:lo)) and whether the root is exact. The
+// radicand must be below 2^126 so the root fits in 63 bits.
+func isqrt128(hi, lo uint64) (root uint64, exact bool) {
+	// Seed with a hardware estimate, then correct with exact integer
+	// arithmetic. The float64 seed is within a few ULP of the true root,
+	// so the adjustment loops run at most a handful of iterations.
+	approx := math.Sqrt(float64(hi)*0x1p64 + float64(lo))
+	q := uint64(approx)
+	// Guard against NaN/overflow artifacts of the seed.
+	if q == 0 {
+		q = 1
+	}
+	for {
+		sqHi, sqLo := bits.Mul64(q, q)
+		if lt128(hi, lo, sqHi, sqLo) {
+			q--
+			continue
+		}
+		// q^2 <= R; check (q+1)^2 > R.
+		q1 := q + 1
+		sq1Hi, sq1Lo := bits.Mul64(q1, q1)
+		if !lt128(hi, lo, sq1Hi, sq1Lo) {
+			q = q1
+			continue
+		}
+		return q, sqHi == hi && sqLo == lo
+	}
+}

@@ -1,0 +1,251 @@
+package softfloat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// IEEE 754 algebraic invariants, property-tested across the full pattern
+// space (including NaNs, infinities, denormals).
+
+func TestPropertyAddCommutes(t *testing.T) {
+	env := Env{RM: RoundNearestEven}
+	f := func(a, b uint64) bool {
+		x, fx := Add64(a, b, env)
+		y, fy := Add64(b, a, env)
+		if fx != fy {
+			return false
+		}
+		if IsNaN64(x) && IsNaN64(y) {
+			return true // payloads may differ by propagation preference
+		}
+		return x == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMulCommutes(t *testing.T) {
+	env := Env{RM: RoundNearestEven}
+	f := func(a, b uint64) bool {
+		x, fx := Mul64(a, b, env)
+		y, fy := Mul64(b, a, env)
+		if fx != fy {
+			return false
+		}
+		if IsNaN64(x) && IsNaN64(y) {
+			return true
+		}
+		return x == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAddZeroIdentity(t *testing.T) {
+	// x + (+0) == x for every x except -0 (where the sum is +0 under RN)
+	// and NaN quieting.
+	env := Env{RM: RoundNearestEven}
+	f := func(a uint64) bool {
+		z, fl := Add64(a, 0, env)
+		switch {
+		case IsSNaN64(a):
+			return IsNaN64(z) && fl == FlagInvalid
+		case IsNaN64(a):
+			return z == a && fl == 0
+		case a == f64SignMask: // -0 + +0 = +0
+			return z == 0 && fl == 0
+		case IsDenormal64(a):
+			return z == a && fl == FlagDenormal
+		default:
+			return z == a && fl == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMulOneIdentity(t *testing.T) {
+	env := Env{RM: RoundNearestEven}
+	one := math.Float64bits(1)
+	f := func(a uint64) bool {
+		z, fl := Mul64(a, one, env)
+		switch {
+		case IsSNaN64(a):
+			return IsNaN64(z) && fl == FlagInvalid
+		case IsNaN64(a):
+			return z == a && fl == 0
+		case IsDenormal64(a):
+			return z == a && fl == FlagDenormal
+		default:
+			return z == a && fl == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySubSelfIsZero(t *testing.T) {
+	// x - x == +0 (RN) for finite x; NaN for infinities and NaNs.
+	env := Env{RM: RoundNearestEven}
+	f := func(a uint64) bool {
+		z, _ := Sub64(a, a, env)
+		switch {
+		case IsNaN64(a) || IsInf64(a):
+			return IsNaN64(z)
+		default:
+			return z == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDivSelfIsOne(t *testing.T) {
+	env := Env{RM: RoundNearestEven}
+	one := math.Float64bits(1)
+	f := func(a uint64) bool {
+		z, _ := Div64(a, a, env)
+		switch {
+		case IsNaN64(a) || IsInf64(a) || IsZero64(a):
+			return IsNaN64(z)
+		default:
+			return z == one
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySqrtRange(t *testing.T) {
+	// sqrt of a non-negative finite is non-negative finite; squaring it
+	// lands within one rounding step of the operand.
+	r := rand.New(rand.NewSource(99))
+	env := Env{RM: RoundNearestEven}
+	for i := 0; i < 30000; i++ {
+		a := randPattern64(r) &^ f64SignMask
+		if IsNaN64(a) || IsInf64(a) {
+			continue
+		}
+		s, _ := Sqrt64(a, env)
+		if sign64(s) && !IsZero64(s) {
+			t.Fatalf("sqrt(%#x) = %#x negative", a, s)
+		}
+		fs := math.Float64frombits(s)
+		fa := math.Float64frombits(a)
+		if fa > 0 && !IsDenormal64(a) {
+			rel := math.Abs(fs*fs-fa) / fa
+			if rel > 1e-15 {
+				t.Fatalf("sqrt(%v)^2 = %v, rel err %v", fa, fs*fs, rel)
+			}
+		}
+	}
+}
+
+func TestPropertyFMADegeneratesToMul(t *testing.T) {
+	// fma(a, b, 0) == a*b when the product is nonzero (signed-zero
+	// conventions differ when the product is exactly zero).
+	env := Env{RM: RoundNearestEven}
+	f := func(a, b uint64) bool {
+		p, _ := Mul64(a, b, env)
+		z, _ := FMA64(a, b, 0, env)
+		if IsNaN64(p) && IsNaN64(z) {
+			return true
+		}
+		if IsZero64(p) {
+			return IsZero64(z)
+		}
+		return p == z
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDirectedModesBracketRN(t *testing.T) {
+	// For any finite result: RD(x op y) <= RN(x op y) <= RU(x op y), and
+	// RZ equals whichever of RD/RU is toward zero.
+	r := rand.New(rand.NewSource(100))
+	ops := []func(a, b uint64, env Env) (uint64, Flags){Add64, Sub64, Mul64, Div64}
+	for i := 0; i < 20000; i++ {
+		a, b := randPattern64(r), randPattern64(r)
+		op := ops[i%len(ops)]
+		rn, _ := op(a, b, Env{RM: RoundNearestEven})
+		rd, _ := op(a, b, Env{RM: RoundDown})
+		ru, _ := op(a, b, Env{RM: RoundUp})
+		rz, _ := op(a, b, Env{RM: RoundToZero})
+		fn, fd, fu, fz := math.Float64frombits(rn), math.Float64frombits(rd), math.Float64frombits(ru), math.Float64frombits(rz)
+		if math.IsNaN(fn) {
+			continue
+		}
+		if !(fd <= fn && fn <= fu) {
+			t.Fatalf("op%d(%#x,%#x): RD %v RN %v RU %v", i%4, a, b, fd, fn, fu)
+		}
+		// Toward-zero is RD for positive results, RU for negative ones;
+		// decide by the bracket endpoints so -0 results resolve right
+		// (Go's -0 >= 0 would mislead a sign test on the value itself).
+		var toward float64
+		switch {
+		case fu <= 0:
+			toward = fu
+		case fd >= 0:
+			toward = fd
+		default:
+			toward = 0
+		}
+		// Numeric comparison treats -0 == +0, which is the right
+		// equivalence here.
+		if fz != toward {
+			t.Fatalf("op%d(%#x,%#x): RZ %v, toward-zero %v", i%4, a, b, fz, toward)
+		}
+	}
+}
+
+func TestPropertyCompareConsistentWithSub(t *testing.T) {
+	// ucomi ordering agrees with the sign of the exact subtraction for
+	// finite values.
+	r := rand.New(rand.NewSource(101))
+	env := Env{RM: RoundNearestEven}
+	for i := 0; i < 20000; i++ {
+		a, b := randPattern64(r), randPattern64(r)
+		if IsNaN64(a) || IsNaN64(b) {
+			continue
+		}
+		cmp, _ := Ucomi64(a, b, env)
+		fa, fb := math.Float64frombits(a), math.Float64frombits(b)
+		switch {
+		case fa < fb:
+			if cmp != CmpLess {
+				t.Fatalf("ucomi(%v,%v) = %v", fa, fb, cmp)
+			}
+		case fa > fb:
+			if cmp != CmpGreater {
+				t.Fatalf("ucomi(%v,%v) = %v", fa, fb, cmp)
+			}
+		default:
+			if cmp != CmpEqual {
+				t.Fatalf("ucomi(%v,%v) = %v", fa, fb, cmp)
+			}
+		}
+	}
+}
+
+func TestPropertyFlagsMonotoneInMasking(t *testing.T) {
+	// The arithmetic result never depends on FTZ/DAZ being off: with
+	// both disabled, soft results must match the hardware for RN.
+	f := func(a, b uint64) bool {
+		z, _ := Add64(a, b, Env{RM: RoundNearestEven})
+		return hwEquiv64(z, math.Float64frombits(a)+math.Float64frombits(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package study
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden study output")
+
+// TestGoldenStudyOutput pins the entire rendered study — every figure
+// and table — against a golden file. The simulator, the workloads, the
+// sampler seeds, and the analyses are all deterministic, so any diff
+// here is a real behavior change. Regenerate intentionally with:
+//
+//	go test ./internal/study -run Golden -update
+func TestGoldenStudyOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study in -short mode")
+	}
+	s := New()
+	tables, err := s.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, tbl := range tables {
+		sb.WriteString(tbl.Render())
+		sb.WriteString("\n")
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "study.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %d bytes", len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Report the first differing line for a usable failure message.
+	gl := strings.Split(got, "\n")
+	wl := strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			t.Fatalf("study output diverged at line %d:\n got  %q\n want %q", i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("study output length changed: %d vs %d lines", len(gl), len(wl))
+}

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode exercises the trace parser against arbitrary images: it
+// must never panic, and any image it accepts must round-trip.
+func FuzzDecode(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 3; i++ {
+		_ = w.Append(&Record{Seq: uint64(i), Rip: 0x400000, TID: 9})
+	}
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(make([]byte, RecordSize-1))
+	f.Add(make([]byte, RecordSize+3))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if len(recs) != len(data)/RecordSize {
+			t.Fatalf("decoded %d records from %d bytes", len(recs), len(data))
+		}
+		// Re-encode: must reproduce the accepted image except for the
+		// reserved padding bytes, which Encode zeroes.
+		for i := range recs {
+			var out [RecordSize]byte
+			recs[i].Encode(out[:])
+			in := data[i*RecordSize : (i+1)*RecordSize]
+			// Compare everything below the pad region (bytes 58..64 are
+			// reserved and not round-tripped).
+			if !bytes.Equal(out[:58], in[:58]) {
+				t.Fatalf("record %d did not round trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,366 @@
+package workload
+
+import (
+	"repro/internal/isa"
+)
+
+// WRF: weather forecasting (2D squall-line advection). WRF is the one
+// study application that *dynamically* executes floating point
+// environment control: partway through the run it calls fesetenv, which
+// clears the sticky condition codes — so aggregate mode sees nothing
+// (FPSpy steps aside; Figure 9's empty WRF row) while individual-mode
+// sampling captures the rounding that happened before (Figure 14).
+var WRF = register(&Workload{
+	Meta: Meta{
+		Name: "wrf", Suite: SuiteApp,
+		Languages: "Fortran/C", LOC: 1_400_000,
+		Deps:        []string{"NetCDF", "MPI"},
+		Problem:     "Squall2D_y",
+		Concurrency: "mpi",
+		ExecTime:    "30m 25.019s",
+		SourceRefs:  []string{"fesetenv"},
+	},
+	Build: buildWRF,
+})
+
+func buildWRF(size Size) *isa.Program {
+	dim := int64(36)
+	steps := int64(80)
+	if size == SizeSmall {
+		dim, steps = 16, 24
+	}
+	b := isa.NewBuilder("wrf")
+
+	field := make([]float64, dim)
+	for i := range field {
+		field[i] = 300.0 + float64(i%9) // potential temperature
+	}
+	grid := b.Float64s(field...)
+
+	// Microphysics moisture array and rate (vectorized, packed doubles).
+	moist := b.Float64s(0.013, 0.027, 0.041, 0.033)
+	rate := b.Float64s(1.0003, 1.0003, 1.0003, 1.0003)
+	fconst(b, 7, 0.2) // Courant number
+	fesetenvAt := steps * 3 / 10
+
+	loop(b, isa.R13, isa.R11, steps, func() {
+		// Upwind advection sweep.
+		b.Movi(isa.R9, int64(grid))
+		loop(b, isa.R8, isa.R12, dim-1, func() {
+			b.Shli(isa.R7, isa.R8, 3)
+			b.Add(isa.R7, isa.R7, isa.R9)
+			b.Fld(0, isa.R7, 0)
+			b.Fld(1, isa.R7, 8)
+			b.FP2(isa.OpSUBSD, 2, 1, 0)
+			b.FP2(isa.OpMULSD, 2, 2, 7)
+			b.FP2(isa.OpADDSD, 0, 0, 2)
+			b.Fst(isa.R7, 0, 0)
+			busywork(b, 90) // halo exchange and grid bookkeeping
+		})
+		// Vectorized microphysics update (condensation/evaporation).
+		b.Movi(isa.R9, int64(moist))
+		b.Fldv(3, isa.R9, 0)
+		b.Movi(isa.R6, int64(rate))
+		b.Fldv(5, isa.R6, 0)
+		b.FP2(isa.OpMULPD, 3, 3, 5)
+		b.FP2(isa.OpADDPD, 3, 3, 5)
+		b.FP2(isa.OpSUBPD, 3, 3, 5)
+		b.Fstv(isa.R9, 0, 3)
+		// Physics initialization at 30% of the run: WRF configures its
+		// own floating point environment.
+		b.Movi(isa.R6, fesetenvAt)
+		skip := b.Label("nofpctl")
+		b.Bne(isa.R13, isa.R6, skip)
+		b.Movi(isa.R1, 0) // FE_DFL_ENV
+		b.CallC("fesetenv")
+		b.Bind(skip)
+	})
+	b.Hlt()
+	return b.Build()
+}
+
+// ENZO: astrophysics AMR hydrodynamics (galaxy simulation). Refined
+// boundary cells evaluate 0/0 mass-to-volume ratios — genuine NaNs
+// (Invalid) occurring throughout the run, at a rate that grows as the
+// refined region expands (the paper's Figure 12). A clone()d worker
+// does the I/O bookkeeping.
+var ENZO = register(&Workload{
+	Meta: Meta{
+		Name: "enzo", Suite: SuiteApp,
+		Languages: "C/Fortran/Python", LOC: 307_000,
+		Deps:        []string{"MPI", "HDF5"},
+		Problem:     "GalaxySimulation",
+		Concurrency: "mpi",
+		ExecTime:    "26m 37.805s",
+	},
+	Build: buildENZO,
+})
+
+func buildENZO(size Size) *isa.Program {
+	cells := int64(96)
+	steps := int64(120)
+	if size == SizeSmall {
+		cells, steps = 32, 40
+	}
+	b := isa.NewBuilder("enzo")
+
+	rhoInit := make([]float64, cells)
+	for i := range rhoInit {
+		rhoInit[i] = 1.0 + 0.01*float64(i%11)
+	}
+	rho := b.Float64s(rhoInit...)
+	ghost := b.Zeros(64)
+	// Vectorized self-gravity kernel operands (packed doubles).
+	gmass := b.Float64s(1.7, 2.3, 3.1, 4.7)
+	gdist := b.Float64s(1.3, 1.9, 2.7, 3.3)
+
+	worker := b.Label("ioworker")
+	b.Lea(isa.R1, worker)
+	b.Movi(isa.R2, 0)
+	b.CallC("clone")
+
+	fconst(b, 7, 0.05) // gravity coefficient
+
+	loop(b, isa.R13, isa.R11, steps, func() {
+		// Self-gravity + hydro sweep (Inexact).
+		b.Movi(isa.R9, int64(rho))
+		loop(b, isa.R8, isa.R12, cells-1, func() {
+			b.Shli(isa.R7, isa.R8, 3)
+			b.Add(isa.R7, isa.R7, isa.R9)
+			b.Fld(0, isa.R7, 0)
+			b.Fld(1, isa.R7, 8)
+			b.FP2(isa.OpADDSD, 2, 0, 1)
+			b.FP2(isa.OpMULSD, 2, 2, 7)
+			b.FP1(isa.OpSQRTSD, 3, 2)
+			b.FP2(isa.OpADDSD, 0, 0, 3)
+			fconst(b, 4, 1.002)
+			b.FP2(isa.OpDIVSD, 0, 0, 4)
+			b.Fst(isa.R7, 0, 0)
+			busywork(b, 90) // AMR tree walks between flux updates
+		})
+		// Vectorized gravity solve on the coarse grid: four potential
+		// lanes at once (packed divide and square root).
+		b.Movi(isa.R6, int64(gmass))
+		b.Fldv(3, isa.R6, 0)
+		b.Movi(isa.R6, int64(gdist))
+		b.Fldv(4, isa.R6, 0)
+		b.FP2(isa.OpDIVPD, 5, 3, 4)
+		b.FP1(isa.OpSQRTPD, 5, 5)
+		// Refined boundary cells: k grows with the refined region, so
+		// the NaN rate rises over the run. Each evaluates an empty
+		// cell's mass/volume = 0/0 (Invalid), stored to ghost zones.
+		// k = 1 + 3*step/steps (+1 every 7th step for AMR bursts).
+		b.Movi(isa.R6, 3)
+		b.Mulq(isa.R10, isa.R13, isa.R6)
+		b.Movi(isa.R6, steps)
+		b.Divq(isa.R10, isa.R10, isa.R6)
+		b.Addi(isa.R10, isa.R10, 1)
+		b.Movi(isa.R6, 7)
+		b.Remq(isa.R7, isa.R13, isa.R6)
+		noburst := b.Label("noburst")
+		b.Bne(isa.R7, isa.R0, noburst)
+		b.Addi(isa.R10, isa.R10, 1)
+		b.Bind(noburst)
+		b.Movi(isa.R9, int64(ghost))
+		b.Movi(isa.R8, 0)
+		whileLt(b, isa.R8, isa.R10, func() {
+			b.Movqx(0, isa.R0)          // mass = +0
+			b.FP2(isa.OpDIVSD, 1, 0, 0) // 0/0: NaN, Invalid
+			b.Fst(isa.R9, 0, 1)
+			b.Addi(isa.R8, isa.R8, 1)
+		})
+	})
+	b.Hlt()
+
+	b.Bind(worker)
+	b.Movi(isa.R9, 1)
+	loop(b, isa.R8, isa.R11, 3000, func() {
+		lcgStep(b, isa.R9)
+	})
+	b.CallC("pthread_exit")
+	return b.Build()
+}
+
+// GROMACS: molecular dynamics with AVX/FMA single-precision nonbonded
+// kernels — the reason the paper's Figure 18 shows 25 instruction forms
+// used by GROMACS and nothing else. The dispersion-table generation at
+// startup walks the force tail through the binary32 denormal range
+// (Denormal + Underflow, early and brief, which is why 5% sampling sees
+// only Inexact); the main kernel is vector FMA arithmetic with a scalar
+// double-precision energy accumulation epilogue (16 forms shared with
+// the other codes).
+var GROMACS = register(&Workload{
+	Meta: Meta{
+		Name: "gromacs", Suite: SuiteApp,
+		Languages: "C++/C", LOC: 1_000_000,
+		Deps:        []string{"MPI", "MKL", "OpenMP"},
+		Problem:     "1AKI in Water",
+		Concurrency: "openmp",
+		ExecTime:    "221m 59.184s",
+		SourceRefs:  []string{"SIGFPE"},
+	},
+	Build: buildGROMACS,
+})
+
+func buildGROMACS(size Size) *isa.Program {
+	pairs := int64(60)
+	steps := int64(60)
+	if size == SizeSmall {
+		pairs, steps = 20, 20
+	}
+	b := isa.NewBuilder("gromacs")
+
+	// 8-lane f32 coordinate deltas, all near unity.
+	mk8 := func(base float32) uint64 {
+		v := make([]float32, 8)
+		for i := range v {
+			v[i] = base + 0.06125*float32(i)
+		}
+		return b.Float32s(v...)
+	}
+	dx := mk8(0.75)
+	dy := mk8(0.90)
+	soft := mk8(0.015625)
+	ones := mk8(1.0)
+	half := mk8(0.5)
+	eps := mk8(0.25)
+	// Long-range correction epsilon: far below the working values' ULP,
+	// so adding or subtracting it always rounds.
+	tinyv := make([]float32, 8)
+	for i := range tinyv {
+		tinyv[i] = 1.1e-9 + 1e-11*float32(i)
+	}
+	tiny := b.Float32s(tinyv...)
+	// Dispersion table tail: binary32 denormals, plus two tiny *normal*
+	// values whose product underflows completely (a pure Underflow with
+	// no denormal operand).
+	tail := b.Float32s(1.2e-40, 3.0e-42, 7.0e-44, 0.5, 1.2e-30, 3.0e-22)
+
+	worker := b.Label("ompworker")
+
+	// Topology setup: integer-dominated preprocessing long enough that
+	// the denormal table window below escapes the sampler's initial
+	// on-period (Figure 14 shows only Inexact for GROMACS).
+	b.Movi(isa.R10, 77)
+	loop(b, isa.R8, isa.R11, 9000, func() {
+		lcgStep(b, isa.R10)
+	})
+
+	// Table-generation phase: denormal tail handling. vmulss on a
+	// denormal raises Denormal; the product of two tiny values
+	// underflows completely.
+	b.Movi(isa.R9, int64(tail))
+	b.Flds(0, isa.R9, 0)                  // 1.2e-40 (denormal)
+	b.Flds(1, isa.R9, 4)                  // 3.0e-42 (denormal)
+	b.Flds(2, isa.R9, 12)                 // 0.5
+	b.FP2(isa.OpVMULSS, 3, 0, 2)          // denormal operand: DE
+	b.Flds(4, isa.R9, 16)                 // 1.2e-30 (normal)
+	b.Flds(5, isa.R9, 20)                 // 3.0e-22 (normal)
+	b.FP2(isa.OpVMULSS, 4, 4, 5)          // tiny*tiny: complete underflow, UE only
+	b.Ucomi(isa.OpVUCOMISS, isa.R8, 0, 2) // compare vs denormal: DE
+	// Re-zone the table with integer stores (no further FP contact).
+	b.St(isa.R9, 0, isa.R0)
+	b.St(isa.R9, 8, isa.R0)
+
+	// Spawn OpenMP-style workers: one pthread, one raw clone.
+	b.Lea(isa.R1, worker)
+	b.Movi(isa.R2, 0)
+	b.CallC("pthread_create")
+	b.Lea(isa.R1, worker)
+	b.Movi(isa.R2, 1)
+	b.CallC("clone")
+
+	// f64 energy accumulator in x13.
+	fconst(b, 13, 0.0)
+	b.Movi(isa.R10, 0x20000000000001) // > 2^53, odd: cvtsi2sdq rounds
+
+	loop(b, isa.R13, isa.R11, steps, func() {
+		b.Movi(isa.R9, int64(dx))
+		loop(b, isa.R8, isa.R12, pairs, func() {
+			b.Fldv(0, isa.R9, int64(dy-dx))   // dy lanes
+			b.Fldv(1, isa.R9, 0)              // dx lanes
+			b.Fldv(2, isa.R9, int64(soft-dx)) // softening
+			b.Fldv(3, isa.R9, int64(ones-dx))
+			b.Fldv(4, isa.R9, int64(half-dx))
+			b.Fldv(5, isa.R9, int64(eps-dx))
+			// The hot j-cluster loop: the handful of core FMA forms
+			// account for nearly all of GROMACS's rounding events (the
+			// skew of the paper's Figure 17).
+			b.Movi(isa.R14, 0)
+			b.Movi(isa.R7, 8)
+			cluster := b.Label("jcluster")
+			b.Bind(cluster)
+			b.FP2(isa.OpVMULPS, 6, 1, 1)       // dx^2
+			b.FMA(isa.OpVFMADDPS, 6, 0, 0, 6)  // r2 = dy^2 + dx^2
+			b.FP2(isa.OpVADDPS, 6, 6, 2)       // softened r2
+			b.FP2(isa.OpVDIVPS, 7, 3, 6)       // rinv2
+			b.FP2(isa.OpVMULPS, 8, 7, 7)       // rinv4
+			b.FMA(isa.OpVFMSUBPS, 8, 8, 7, 4)  // rinv6 - 0.5
+			b.FMA(isa.OpVFNMADDPS, 9, 8, 5, 7) // F = rinv2 - eps*(...)
+			b.Addi(isa.R14, isa.R14, 1)
+			b.Blt(isa.R14, isa.R7, cluster)
+			b.Fldv(2, isa.R9, int64(tiny-dx)) // epsilon lanes (soft is dead)
+			b.FP2(isa.OpVSUBPS, 9, 9, 2)      // long-range correction
+			b.Dp(isa.OpVDPPS, 10, 9, 9)       // |F|^2 per 128-bit group
+			b.FP2(isa.OpADDPS, 9, 9, 2)       // legacy SSE tail
+			b.FP2(isa.OpSUBPS, 9, 9, 2)
+			b.Round(isa.OpVROUNDPS, 11, 10, isa.RoundImmNearest) // table index
+			b.Cvt(isa.OpVCVTPS2DQ, 12, 10)                       // quantized bins
+			// Pair search, PME spreading, and constraint bookkeeping
+			// dominate GROMACS's dynamic mix; its captured-event rate is
+			// the lowest in Figure 15.
+			busyloop(b, isa.R14, isa.R7, 3900)
+		})
+		// Per-step scalar epilogue, once per energy group: the
+		// switching-function evaluation and double-precision energy
+		// reduction are orders of magnitude rarer than the vector kernel
+		// — the tail of the rank-popularity distribution. Operands are
+		// the 0.9/0.75 coordinates (not power-of-two constants, which
+		// would make the chain exact and eventless).
+		b.Movi(isa.R14, 0)
+		b.Movi(isa.R12, 8)
+		egroup := b.Label("energygroup")
+		b.Bind(egroup)
+		b.FP1(isa.OpVSQRTSS, 11, 10)   // |F|
+		b.FP2(isa.OpVMULSS, 11, 11, 0) // * 0.9
+		b.FP2(isa.OpVADDSS, 11, 11, 1) // + 0.75
+		b.FP2(isa.OpVDIVSS, 11, 11, 0) // / 0.9
+		b.FP2(isa.OpVSUBSS, 11, 11, 2) // - epsilon: rounds
+		b.FMA(isa.OpVFMADDSS, 11, 11, 0, 1)
+		b.FMA(isa.OpVFMSUBSS, 11, 11, 0, 1)
+		b.FMA(isa.OpVFNMADDSS, 11, 11, 0, 1)
+		b.FP2(isa.OpVMULSS, 11, 11, 11)     // energy density: |.|^2
+		b.FP2(isa.OpVADDSS, 11, 11, 1)      // + 0.75 baseline
+		b.Cvt(isa.OpVCVTTSS2SI, isa.R7, 11) // truncation: PE
+		// Double-precision energy reduction (shared scalar forms).
+		b.Cvt(isa.OpCVTSS2SD, 14, 11)
+		b.FP2(isa.OpADDSD, 13, 13, 14)
+		fconst(b, 14, 1.0000001)
+		b.FP2(isa.OpMULSD, 13, 13, 14)
+		b.FP1(isa.OpVSQRTSD, 15, 13)   // AVX scalar sqrt
+		b.Cvt(isa.OpVCVTSD2SS, 12, 15) // narrow: PE
+		b.Addi(isa.R14, isa.R14, 1)
+		b.Blt(isa.R14, isa.R12, egroup)
+		// Long-range correction: integer virial converted at double
+		// precision (cvtsi2sdq on a 54-bit odd value rounds).
+		b.Cvt(isa.OpCVTSI2SDQ, 14, isa.R10)
+		b.FP2(isa.OpSUBSD, 13, 13, 14)
+		b.FP2(isa.OpADDSD, 13, 13, 14)
+	})
+	b.Hlt()
+
+	b.Bind(worker)
+	b.Movi(isa.R9, 2)
+	loop(b, isa.R8, isa.R11, 1500, func() {
+		lcgStep(b, isa.R9)
+	})
+	b.CallC("pthread_exit")
+
+	// Static-only references (Figure 8's GROMACS row): error handlers
+	// never reached by this run.
+	b.CallC("sigaction")
+	b.CallC("feenableexcept")
+	b.CallC("fedisableexcept")
+	b.Hlt()
+	return b.Build()
+}

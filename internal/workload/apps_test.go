@@ -1,0 +1,156 @@
+package workload_test
+
+import (
+	"testing"
+
+	fpspy "repro"
+	"repro/internal/workload"
+)
+
+// appEventSets is this reproduction's ground truth for the applications:
+// the union of the paper's Figure 9 (aggregate) and Figure 11
+// (individual, filtered), which agree in our deterministic runs. WRF is
+// special: FPSpy steps aside, so aggregate mode reports nothing.
+var appEventSets = map[string]fpspy.Flags{
+	"miniaero": fpspy.FlagDenormal | fpspy.FlagUnderflow | fpspy.FlagOverflow | fpspy.FlagInexact,
+	"lammps":   fpspy.FlagInexact,
+	"laghos":   fpspy.FlagDivideByZero | fpspy.FlagUnderflow | fpspy.FlagInexact,
+	"moose":    fpspy.FlagInexact,
+	"wrf":      0, // aggregate: stepped aside
+	"enzo":     fpspy.FlagInvalid | fpspy.FlagInexact,
+	"gromacs":  fpspy.FlagDenormal | fpspy.FlagUnderflow | fpspy.FlagInexact,
+}
+
+func runApp(t *testing.T, name string, cfg fpspy.Config) *fpspy.Result {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fpspy.Run(w.Build(workload.SizeLarge), fpspy.Options{Config: cfg})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("%s: exit code %d", name, res.ExitCode)
+	}
+	return res
+}
+
+func TestAppsAggregateEventSets(t *testing.T) {
+	for name, want := range appEventSets {
+		name, want := name, want
+		t.Run(name, func(t *testing.T) {
+			res := runApp(t, name, fpspy.Config{Mode: fpspy.ModeAggregate})
+			var got fpspy.Flags
+			for _, a := range res.Aggregates() {
+				got |= a.Flags
+			}
+			if got != want {
+				t.Errorf("aggregate events = %v, want %v", got, want)
+			}
+			if name == "wrf" && res.Store.StepAsides != 1 {
+				t.Errorf("wrf step-asides = %d, want 1", res.Store.StepAsides)
+			}
+			if name != "wrf" && res.Store.StepAsides != 0 {
+				t.Errorf("%s step-asides = %d, want 0", name, res.Store.StepAsides)
+			}
+		})
+	}
+}
+
+func TestAppsIndividualFilteredEventSets(t *testing.T) {
+	// Individual mode with Inexact filtered out: the paper's Figure 11
+	// pass. Every non-Inexact event appears; the captured sets must
+	// equal the aggregate sets minus Inexact (WRF captures nothing
+	// non-Inexact before stepping aside).
+	for name, agg := range appEventSets {
+		name := name
+		want := agg &^ fpspy.FlagInexact
+		t.Run(name, func(t *testing.T) {
+			res := runApp(t, name, fpspy.Config{
+				Mode:       fpspy.ModeIndividual,
+				ExceptList: fpspy.AllEvents &^ fpspy.FlagInexact,
+			})
+			var got fpspy.Flags
+			for _, rec := range res.MustRecords() {
+				got |= rec.Event
+			}
+			if got != want {
+				t.Errorf("filtered events = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestAppsBuildDeterministic(t *testing.T) {
+	for _, w := range workload.Apps() {
+		p1 := w.Build(workload.SizeLarge)
+		p2 := w.Build(workload.SizeLarge)
+		if len(p1.Insts) != len(p2.Insts) || len(p1.Data) != len(p2.Data) {
+			t.Errorf("%s: nondeterministic build", w.Meta.Name)
+		}
+		if len(p1.Insts) == 0 {
+			t.Errorf("%s: empty program", w.Meta.Name)
+		}
+	}
+}
+
+func TestAppsSmallSizeAlsoRun(t *testing.T) {
+	for _, w := range workload.Apps() {
+		w := w
+		t.Run(w.Meta.Name, func(t *testing.T) {
+			res, err := fpspy.Run(w.Build(workload.SizeSmall), fpspy.Options{
+				Config: fpspy.Config{Mode: fpspy.ModeAggregate},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ExitCode != 0 {
+				t.Fatalf("exit %d", res.ExitCode)
+			}
+		})
+	}
+}
+
+func TestStaticAnalysisMatchesFigure8(t *testing.T) {
+	// The paper's Figure 8 source-analysis matrix, restricted to libc
+	// call sites: which functions each application's binary references
+	// (including dead branches).
+	wantRefs := map[string][]string{
+		"miniaero": {},
+		"lammps":   {"clone"},
+		"laghos":   {},
+		"moose":    {"clone", "pthread_create", "sigaction", "feenableexcept", "fedisableexcept"},
+		"wrf":      {"fesetenv"},
+		"enzo":     {"clone"},
+		"gromacs":  {"clone", "pthread_create", "pthread_exit", "sigaction", "feenableexcept", "fedisableexcept"},
+	}
+	for name, want := range wantRefs {
+		w, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := workload.StaticLibcUse(w.Build(workload.SizeLarge))
+		for _, sym := range want {
+			if !got[sym] {
+				t.Errorf("%s: missing static reference to %s", name, sym)
+			}
+		}
+		// No fe* references beyond the expected set (the step-aside
+		// trigger list must match Figure 8).
+		for sym := range got {
+			if len(sym) > 2 && sym[:2] == "fe" {
+				found := false
+				for _, w := range want {
+					if w == sym {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("%s: unexpected fe* reference %s", name, sym)
+				}
+			}
+		}
+	}
+}

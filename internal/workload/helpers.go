@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"math"
+
+	"repro/internal/isa"
+)
+
+// f32bits returns the binary32 pattern of v, for movqx-style immediates.
+func f32bits(v float32) uint32 { return math.Float32bits(v) }
+
+// fconst loads a binary64 immediate into lane 0 of a vector register,
+// using scratch integer register r6.
+func fconst(b *isa.Builder, x int, v float64) {
+	b.Movi(isa.R6, int64(math.Float64bits(v)))
+	b.Movqx(x, isa.R6)
+}
+
+// loop emits a counted loop: cnt runs 0..n-1, limit holds n. The body
+// must preserve both registers.
+func loop(b *isa.Builder, cnt, limit int, n int64, body func()) {
+	b.Movi(cnt, 0)
+	b.Movi(limit, n)
+	top := b.Label("loop")
+	b.Bind(top)
+	body()
+	b.Addi(cnt, cnt, 1)
+	b.Blt(cnt, limit, top)
+}
+
+// whileLt emits a loop that runs while cnt < limit, where the body
+// updates cnt itself.
+func whileLt(b *isa.Builder, cnt, limit int, body func()) {
+	top := b.Label("while")
+	done := b.Label("done")
+	b.Bind(top)
+	b.Bge(cnt, limit, done)
+	body()
+	b.Jmp(top)
+	b.Bind(done)
+}
+
+// lcgStep advances a linear congruential generator in reg (Numerical
+// Recipes constants), using r6 as scratch.
+func lcgStep(b *isa.Builder, reg int) {
+	b.Movi(isa.R6, 6364136223846793005)
+	b.Mulq(reg, reg, isa.R6)
+	b.Movi(isa.R6, 1442695040888963407)
+	b.Add(reg, reg, isa.R6)
+}
+
+// lcgToUnitF64 converts the LCG state in reg to a float64 in [0,1) in
+// lane 0 of x, using r6/r7 as scratch: take the top 52 bits and scale.
+func lcgToUnitF64(b *isa.Builder, x, reg int) {
+	b.Shri(isa.R7, reg, 12)
+	b.Cvt(isa.OpCVTSI2SDQ, x, isa.R7)
+	b.Movi(isa.R6, int64(math.Float64bits(1.0/(1<<52))))
+	b.Movqx(15, isa.R6)
+	b.FP2(isa.OpMULSD, x, x, 15)
+}
+
+// busywork emits n straight-line integer instructions, modeling the
+// address arithmetic, gathers and branch bookkeeping that dominates real
+// applications' dynamic instruction mix. Each application's ratio of
+// bookkeeping to rounding floating point sets its Inexact *rate* —
+// Figure 15's per-application spread.
+func busywork(b *isa.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.Mulq(isa.R6, isa.R8, isa.R8)
+	}
+}
+
+// busyloop emits a compact loop executing ~n dynamic instructions, for
+// dilution factors too large to unroll. cnt and limit are scratch
+// integer registers.
+func busyloop(b *isa.Builder, cnt, limit int, n int64) {
+	b.Movi(cnt, 0)
+	b.Movi(limit, n/3)
+	top := b.Label("busy")
+	b.Bind(top)
+	b.Addi(cnt, cnt, 1)
+	b.Blt(cnt, limit, top)
+}
+
+// expSeries emits exp(x) for |x| <= 1 into xd using a 7-term Horner
+// evaluation; xs holds x. Clobbers x14 and x15 and r6.
+func expSeries(b *isa.Builder, xd, xs int) {
+	// e = 1 + x(1 + x/2(1 + x/3(1 + x/4(1 + x/5(1 + x/6)))))
+	fconst(b, 15, 1.0)
+	fconst(b, 14, 1.0/6.0)
+	b.FP2(isa.OpMULSD, xd, xs, 14) // x/6
+	b.FP2(isa.OpADDSD, xd, xd, 15) // 1 + x/6
+	for _, inv := range []float64{1.0 / 5, 1.0 / 4, 1.0 / 3, 1.0 / 2, 1.0} {
+		fconst(b, 14, inv)
+		b.FP2(isa.OpMULSD, xd, xd, xs) // * x
+		b.FP2(isa.OpMULSD, xd, xd, 14) // * 1/k
+		b.FP2(isa.OpADDSD, xd, xd, 15) // + 1
+	}
+}

@@ -1,0 +1,372 @@
+package workload
+
+import (
+	"repro/internal/isa"
+)
+
+// The NAS 3.0 kernels. The paper's Figure 9 shows the entire suite is
+// well behaved: every kernel produces only Inexact. The miniatures below
+// keep all values comfortably normal, so that property arises naturally.
+
+func nasMeta(name, problem string) Meta {
+	return Meta{
+		Name: name, Suite: SuiteNAS,
+		Languages: "Fortran/C", LOC: 21_000 / 8,
+		Problem: problem, Concurrency: "openmp",
+		ExecTime: "4m 50.443s (suite)",
+	}
+}
+
+// NASEP: embarrassingly parallel — accept/reject sampling of unit-square
+// points with a square-root transform of the accepted radii.
+var NASEP = register(&Workload{
+	Meta:  nasMeta("nas-ep", "Problem Size 1"),
+	Build: buildNASEP,
+})
+
+func buildNASEP(size Size) *isa.Program {
+	n := int64(4000)
+	if size == SizeSmall {
+		n = 800
+	}
+	b := isa.NewBuilder("nas-ep")
+	b.Movi(isa.R9, 12345)
+	fconst(b, 5, 0.0) // sum of radii
+	loop(b, isa.R13, isa.R11, n, func() {
+		lcgStep(b, isa.R9)
+		lcgToUnitF64(b, 0, isa.R9) // u in [0,1)
+		lcgStep(b, isa.R9)
+		lcgToUnitF64(b, 1, isa.R9) // v
+		b.FP2(isa.OpMULSD, 2, 0, 0)
+		b.FP2(isa.OpMULSD, 3, 1, 1)
+		b.FP2(isa.OpADDSD, 2, 2, 3) // t = u^2+v^2
+		fconst(b, 3, 1.0)
+		b.Ucomi(isa.OpUCOMISD, isa.R8, 2, 3)
+		reject := b.Label("reject")
+		b.Movi(isa.R7, 0)
+		b.Bge(isa.R8, isa.R7, reject) // t >= 1: reject
+		b.FP1(isa.OpSQRTSD, 4, 2)
+		b.FP2(isa.OpADDSD, 5, 5, 4)
+		// Histogram the radius: scale, round to the bin grid, truncate
+		// to the bin index (both round).
+		fconst(b, 3, 10.0)
+		b.FP2(isa.OpMULSD, 4, 4, 3)
+		b.Round(isa.OpROUNDSD, 3, 4, isa.RoundImmNearest)
+		b.Cvt(isa.OpCVTTSD2SI, isa.R7, 4)
+		b.Bind(reject)
+	})
+	b.Hlt()
+	return b.Build()
+}
+
+// NASMG: multigrid — one-dimensional V-cycle: smooth, restrict to a
+// coarse grid, solve, prolongate, correct.
+var NASMG = register(&Workload{
+	Meta:  nasMeta("nas-mg", "Problem Size 1"),
+	Build: buildNASMG,
+})
+
+func buildNASMG(size Size) *isa.Program {
+	n := int64(128)
+	cycles := int64(20)
+	if size == SizeSmall {
+		n, cycles = 32, 6
+	}
+	b := isa.NewBuilder("nas-mg")
+	fineInit := make([]float64, n)
+	for i := range fineInit {
+		fineInit[i] = float64(i%13) * 0.077
+	}
+	fine := b.Float64s(fineInit...)
+	coarse := b.Zeros(int(n/2) * 8)
+
+	fconst(b, 7, 0.5)
+	loop(b, isa.R13, isa.R11, cycles, func() {
+		// Smooth on the fine grid.
+		b.Movi(isa.R9, int64(fine))
+		loop(b, isa.R8, isa.R12, n-2, func() {
+			b.Shli(isa.R7, isa.R8, 3)
+			b.Add(isa.R7, isa.R7, isa.R9)
+			b.Fld(0, isa.R7, 0)
+			b.Fld(1, isa.R7, 16)
+			b.FP2(isa.OpADDSD, 0, 0, 1)
+			b.FP2(isa.OpMULSD, 0, 0, 7)
+			b.Fst(isa.R7, 8, 0)
+		})
+		// Restrict: coarse[i] = 0.5*(fine[2i] + fine[2i+1]).
+		b.Movi(isa.R9, int64(fine))
+		b.Movi(isa.R10, int64(coarse))
+		loop(b, isa.R8, isa.R12, n/2, func() {
+			b.Shli(isa.R7, isa.R8, 4)
+			b.Add(isa.R7, isa.R7, isa.R9)
+			b.Fld(0, isa.R7, 0)
+			b.Fld(1, isa.R7, 8)
+			b.FP2(isa.OpADDSD, 0, 0, 1)
+			b.FP2(isa.OpMULSD, 0, 0, 7)
+			b.Shli(isa.R7, isa.R8, 3)
+			b.Add(isa.R7, isa.R7, isa.R10)
+			b.Fst(isa.R7, 0, 0)
+		})
+		// Prolongate and correct.
+		b.Movi(isa.R9, int64(fine))
+		b.Movi(isa.R10, int64(coarse))
+		loop(b, isa.R8, isa.R12, n/2, func() {
+			b.Shli(isa.R7, isa.R8, 3)
+			b.Add(isa.R7, isa.R7, isa.R10)
+			b.Fld(0, isa.R7, 0)
+			fconst(b, 1, 0.01)
+			b.FP2(isa.OpMULSD, 0, 0, 1)
+			b.Shli(isa.R7, isa.R8, 4)
+			b.Add(isa.R7, isa.R7, isa.R9)
+			b.Fld(1, isa.R7, 0)
+			b.FP2(isa.OpADDSD, 1, 1, 0)
+			b.Fst(isa.R7, 0, 1)
+		})
+	})
+	b.Hlt()
+	return b.Build()
+}
+
+// NASCG: conjugate gradient — tridiagonal matvec and dot products, the
+// inner kernel of one CG iteration repeated.
+var NASCG = register(&Workload{
+	Meta:  nasMeta("nas-cg", "Problem Size 1"),
+	Build: buildNASCG,
+})
+
+func buildNASCG(size Size) *isa.Program {
+	n := int64(96)
+	iters := int64(40)
+	if size == SizeSmall {
+		n, iters = 24, 10
+	}
+	b := isa.NewBuilder("nas-cg")
+	xInit := make([]float64, n)
+	for i := range xInit {
+		xInit[i] = 1.0 / float64(i+2)
+	}
+	x := b.Float64s(xInit...)
+	y := b.Zeros(int(n) * 8)
+
+	loop(b, isa.R13, isa.R11, iters, func() {
+		// y = A x with A = tridiag(-1, 2.1, -1).
+		b.Movi(isa.R9, int64(x))
+		b.Movi(isa.R10, int64(y))
+		fconst(b, 7, 2.1)
+		loop(b, isa.R8, isa.R12, n-2, func() {
+			b.Shli(isa.R7, isa.R8, 3)
+			b.Add(isa.R7, isa.R7, isa.R9)
+			b.Fld(0, isa.R7, 8)
+			b.FP2(isa.OpMULSD, 0, 0, 7)
+			b.Fld(1, isa.R7, 0)
+			b.FP2(isa.OpSUBSD, 0, 0, 1)
+			b.Fld(1, isa.R7, 16)
+			b.FP2(isa.OpSUBSD, 0, 0, 1)
+			b.Shli(isa.R7, isa.R8, 3)
+			b.Add(isa.R7, isa.R7, isa.R10)
+			b.Fst(isa.R7, 8, 0)
+		})
+		// alpha = (x.y)/(y.y); x += alpha*y (scaled correction).
+		b.Movi(isa.R9, int64(x))
+		b.Movi(isa.R10, int64(y))
+		fconst(b, 4, 0.0)
+		fconst(b, 5, 1e-12) // regularizer keeps y.y nonzero
+		loop(b, isa.R8, isa.R12, n, func() {
+			b.Shli(isa.R7, isa.R8, 3)
+			b.Add(isa.R6, isa.R7, isa.R9)
+			b.Fld(0, isa.R6, 0)
+			b.Add(isa.R6, isa.R7, isa.R10)
+			b.Fld(1, isa.R6, 0)
+			b.FP2(isa.OpMULSD, 2, 0, 1)
+			b.FP2(isa.OpADDSD, 4, 4, 2)
+			b.FP2(isa.OpMULSD, 2, 1, 1)
+			b.FP2(isa.OpADDSD, 5, 5, 2)
+		})
+		b.FP2(isa.OpDIVSD, 4, 4, 5) // alpha
+		fconst(b, 3, 0.001)
+		b.FP2(isa.OpMULSD, 4, 4, 3)
+		b.Movi(isa.R9, int64(x))
+		b.Movi(isa.R10, int64(y))
+		loop(b, isa.R8, isa.R12, n, func() {
+			b.Shli(isa.R7, isa.R8, 3)
+			b.Add(isa.R6, isa.R7, isa.R10)
+			b.Fld(1, isa.R6, 0)
+			b.FP2(isa.OpMULSD, 1, 1, 4)
+			b.Add(isa.R6, isa.R7, isa.R9)
+			b.Fld(0, isa.R6, 0)
+			b.FP2(isa.OpADDSD, 0, 0, 1)
+			b.Fst(isa.R6, 0, 0)
+		})
+	})
+	b.Hlt()
+	return b.Build()
+}
+
+// NASFT: Fourier transform — a direct DFT over a small signal using
+// rotation recurrences (complex multiply-accumulate).
+var NASFT = register(&Workload{
+	Meta:  nasMeta("nas-ft", "Problem Size 1"),
+	Build: buildNASFT,
+})
+
+func buildNASFT(size Size) *isa.Program {
+	n := int64(48)
+	if size == SizeSmall {
+		n = 16
+	}
+	b := isa.NewBuilder("nas-ft")
+	sigInit := make([]float64, n)
+	for i := range sigInit {
+		sigInit[i] = 0.3 + 0.05*float64(i%7)
+	}
+	sig := b.Float64s(sigInit...)
+	// Rotation for the fundamental frequency: cos/sin of 2*pi/n.
+	rot := b.Float64s(0.9914448613738104, 0.13052619222005157)
+	out := b.Zeros(int(n) * 16)
+
+	loop(b, isa.R13, isa.R11, n, func() { // for each output bin
+		// (c,s) starts at (1,0); accumulate sum of sig[j]*(c,s)^j.
+		fconst(b, 0, 1.0) // c
+		fconst(b, 1, 0.0) // s
+		fconst(b, 4, 0.0) // re
+		fconst(b, 5, 0.0) // im
+		b.Movi(isa.R10, int64(rot))
+		b.Fld(6, isa.R10, 0) // cr
+		b.Fld(7, isa.R10, 8) // sr
+		b.Movi(isa.R9, int64(sig))
+		loop(b, isa.R8, isa.R12, n, func() {
+			b.Shli(isa.R7, isa.R8, 3)
+			b.Add(isa.R7, isa.R7, isa.R9)
+			b.Fld(2, isa.R7, 0) // sig[j]
+			b.FP2(isa.OpMULSD, 3, 2, 0)
+			b.FP2(isa.OpADDSD, 4, 4, 3) // re += sig*c
+			b.FP2(isa.OpMULSD, 3, 2, 1)
+			b.FP2(isa.OpADDSD, 5, 5, 3) // im += sig*s
+			// Rotate: (c,s) *= (cr,sr).
+			b.FP2(isa.OpMULSD, 2, 0, 6)
+			b.FP2(isa.OpMULSD, 3, 1, 7)
+			b.FP2(isa.OpSUBSD, 2, 2, 3) // c' = c*cr - s*sr
+			b.FP2(isa.OpMULSD, 3, 0, 7)
+			b.FP2(isa.OpMULSD, 0, 1, 6)
+			b.FP2(isa.OpADDSD, 1, 0, 3) // s' = s*cr + c*sr
+			b.Movsd(0, 2)
+		})
+		b.Shli(isa.R7, isa.R13, 4)
+		b.Movi(isa.R6, int64(out))
+		b.Add(isa.R7, isa.R7, isa.R6)
+		b.Fst(isa.R7, 0, 4)
+		b.Fst(isa.R7, 8, 5)
+		// Spectrum is archived in single precision (narrowing rounds).
+		b.Cvt(isa.OpCVTSD2SS, 3, 4)
+	})
+	b.Hlt()
+	return b.Build()
+}
+
+// NASIS: integer sort — bucket counting of LCG keys with a final
+// floating point distribution statistic.
+var NASIS = register(&Workload{
+	Meta:  nasMeta("nas-is", "Problem Size 1"),
+	Build: buildNASIS,
+})
+
+func buildNASIS(size Size) *isa.Program {
+	n := int64(6000)
+	if size == SizeSmall {
+		n = 1500
+	}
+	b := isa.NewBuilder("nas-is")
+	buckets := b.Zeros(64 * 8)
+	b.Movi(isa.R9, 999)
+	loop(b, isa.R13, isa.R11, n, func() {
+		lcgStep(b, isa.R9)
+		b.Shri(isa.R7, isa.R9, 58) // top 6 bits: bucket index
+		b.Shli(isa.R7, isa.R7, 3)
+		b.Movi(isa.R6, int64(buckets))
+		b.Add(isa.R7, isa.R7, isa.R6)
+		b.Ld(isa.R10, isa.R7, 0)
+		b.Addi(isa.R10, isa.R10, 1)
+		b.St(isa.R7, 0, isa.R10)
+	})
+	// Distribution statistic: mean occupancy (the kernel's only FP).
+	fconst(b, 0, 0.0)
+	b.Movi(isa.R9, int64(buckets))
+	loop(b, isa.R8, isa.R11, 64, func() {
+		b.Shli(isa.R7, isa.R8, 3)
+		b.Add(isa.R7, isa.R7, isa.R9)
+		b.Ld(isa.R10, isa.R7, 0)
+		b.Cvt(isa.OpCVTSI2SD, 1, isa.R10)
+		b.FP2(isa.OpADDSD, 0, 0, 1)
+	})
+	// Sample standard-deviation style divisor (not a power of two, so
+	// the statistic actually rounds) plus a square root.
+	fconst(b, 1, 63.0)
+	b.FP2(isa.OpDIVSD, 0, 0, 1)
+	b.FP1(isa.OpSQRTSD, 0, 0)
+	b.Hlt()
+	return b.Build()
+}
+
+// nasLineSolver builds the shared skeleton of the LU/SP/BT pseudo
+// applications: forward elimination and back substitution on a
+// diagonally dominant banded system, differing in bandwidth and sweep
+// count.
+func nasLineSolver(name string, band int64, sweeps int64) func(Size) *isa.Program {
+	return func(size Size) *isa.Program {
+		n := int64(80)
+		s := sweeps
+		if size == SizeSmall {
+			n, s = 24, sweeps/2+1
+		}
+		b := isa.NewBuilder(name)
+		rhsInit := make([]float64, n)
+		for i := range rhsInit {
+			rhsInit[i] = 0.25 + 0.03*float64(i%9)
+		}
+		rhs := b.Float64s(rhsInit...)
+		diag := 2.5 + float64(band)
+
+		loop(b, isa.R13, isa.R11, s, func() {
+			// Forward sweep: rhs[i] -= sum(rhs[i-k])/diag for k=1..band.
+			b.Movi(isa.R9, int64(rhs))
+			fconst(b, 7, diag)
+			loop(b, isa.R8, isa.R12, n-band, func() {
+				b.Shli(isa.R7, isa.R8, 3)
+				b.Add(isa.R7, isa.R7, isa.R9)
+				b.Fld(0, isa.R7, band*8)
+				for k := int64(0); k < band; k++ {
+					b.Fld(1, isa.R7, k*8)
+					fconst(b, 2, 0.33/float64(k+1))
+					b.FP2(isa.OpMULSD, 1, 1, 2)
+					b.FP2(isa.OpSUBSD, 0, 0, 1)
+				}
+				b.FP2(isa.OpDIVSD, 0, 0, 7)
+				b.Fst(isa.R7, band*8, 0)
+			})
+			// Back substitution.
+			b.Movi(isa.R9, int64(rhs))
+			loop(b, isa.R8, isa.R12, n-band, func() {
+				b.Movi(isa.R6, n-1)
+				b.Sub(isa.R7, isa.R6, isa.R8) // i = n-1-j
+				b.Shli(isa.R7, isa.R7, 3)
+				b.Add(isa.R7, isa.R7, isa.R9)
+				b.Fld(0, isa.R7, 0)
+				b.Fld(1, isa.R7, -8)
+				fconst(b, 2, 0.15)
+				b.FP2(isa.OpMULSD, 1, 1, 2)
+				b.FP2(isa.OpADDSD, 0, 0, 1)
+				b.Fst(isa.R7, 0, 0)
+			})
+		})
+		b.Hlt()
+		return b.Build()
+	}
+}
+
+// NASLU, NASSP and NASBT: the three pseudo-applications, as banded line
+// solvers of increasing bandwidth.
+var (
+	NASLU = register(&Workload{Meta: nasMeta("nas-lu", "Problem Size 1"), Build: nasLineSolver("nas-lu", 1, 30)})
+	NASSP = register(&Workload{Meta: nasMeta("nas-sp", "Problem Size 1"), Build: nasLineSolver("nas-sp", 2, 24)})
+	NASBT = register(&Workload{Meta: nasMeta("nas-bt", "Problem Size 1"), Build: nasLineSolver("nas-bt", 3, 18)})
+)

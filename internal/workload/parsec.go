@@ -1,0 +1,752 @@
+package workload
+
+import (
+	"repro/internal/isa"
+)
+
+// The PARSEC 3.0 benchmarks, with per-benchmark event sets following the
+// paper's Figure 10: most kernels only round, but blackscholes
+// underflows on deep out-of-the-money options, canneal's annealing
+// temperature decays through the denormal range, the SPLASH-derived
+// cholesky hits a zero pivot, the unpivoted LU kernels compute 0/0 on a
+// singular matrix, water_nsquared's far-pair dispersion underflows, and
+// x.264's rate control divides 0 bits by 0 macroblocks. fluidanimate's
+// stiffness term overflows only at the large problem size — the paper's
+// Section 5.3 notes the suite's Overflow appears on one problem size and
+// not another.
+
+func parsecMeta(name string) Meta {
+	return Meta{
+		Name: name, Suite: SuiteParsec,
+		Languages: "C/C++", LOC: 3_500_000 / 25,
+		Deps:    []string{"GSL", "TBB"},
+		Problem: "Simlarge", Concurrency: "pthreads",
+		ExecTime: "2m 30.178s (suite)",
+	}
+}
+
+// parsecMetaRefs is parsecMeta plus Figure 8 source references for the
+// suite's harness (fork/pthreads/sigaction/fe* appear in PARSEC's
+// support code).
+func parsecMetaRefs(name string, refs ...string) Meta {
+	m := parsecMeta(name)
+	m.SourceRefs = refs
+	return m
+}
+
+// Blackscholes: option pricing. The discount factor for a deep
+// out-of-the-money option is assembled as a product of per-period
+// decay factors; for the extreme strike the product underflows
+// completely (Underflow, no denormal operand).
+var Blackscholes = register(&Workload{
+	Meta:  parsecMetaRefs("blackscholes", "SIGFPE"),
+	Build: buildBlackscholes,
+})
+
+func buildBlackscholes(size Size) *isa.Program {
+	options := int64(60)
+	if size == SizeSmall {
+		options = 20
+	}
+	b := isa.NewBuilder("blackscholes")
+	spots := make([]float64, options)
+	for i := range spots {
+		spots[i] = 80.0 + float64(i%40)
+	}
+	spot := b.Float64s(spots...)
+
+	loop(b, isa.R13, isa.R11, options, func() {
+		b.Shli(isa.R7, isa.R13, 3)
+		b.Movi(isa.R6, int64(spot))
+		b.Add(isa.R7, isa.R7, isa.R6)
+		b.Fld(0, isa.R7, 0) // S
+		fconst(b, 1, 100.0)
+		b.FP2(isa.OpDIVSD, 2, 0, 1) // moneyness S/K
+		fconst(b, 1, 1.0)
+		b.FP2(isa.OpSUBSD, 2, 2, 1) // x = S/K - 1
+		b.FP2(isa.OpMULSD, 3, 2, 2) // x^2
+		fconst(b, 1, -0.5)
+		b.FP2(isa.OpMULSD, 3, 3, 1)
+		expSeries(b, 4, 3) // phi ~ exp(-x^2/2), |arg|<1
+		fconst(b, 1, 0.3989422804)
+		b.FP2(isa.OpMULSD, 4, 4, 1) // normal density
+		b.FP1(isa.OpSQRTSD, 5, 0)   // vol*sqrt(S) term
+		b.FP2(isa.OpDIVSD, 4, 4, 5)
+		b.Cvt(isa.OpCVTSD2SS, 5, 4) // price table is single precision
+	})
+	// Deep out-of-the-money tail probability: product of 12 per-period
+	// factors of ~1e-30 — complete underflow on the 11th multiply.
+	fconst(b, 0, 1e-30)
+	fconst(b, 1, 1.0)
+	loop(b, isa.R13, isa.R11, 12, func() {
+		b.FP2(isa.OpMULSD, 1, 1, 0)
+	})
+	b.Hlt()
+	return b.Build()
+}
+
+// Bodytrack: particle filter — weight evaluation with an exponential
+// kernel and normalization.
+var Bodytrack = register(&Workload{
+	Meta:  parsecMeta("bodytrack"),
+	Build: buildBodytrack,
+})
+
+func buildBodytrack(size Size) *isa.Program {
+	particles := int64(300)
+	if size == SizeSmall {
+		particles = 80
+	}
+	b := isa.NewBuilder("bodytrack")
+	weights := b.Zeros(int(particles) * 8)
+	b.Movi(isa.R9, 777)
+	fconst(b, 6, 0.0) // weight sum
+	loop(b, isa.R13, isa.R11, particles, func() {
+		lcgStep(b, isa.R9)
+		lcgToUnitF64(b, 0, isa.R9) // error in [0,1)
+		fconst(b, 1, -0.9)
+		b.FP2(isa.OpMULSD, 0, 0, 1)
+		expSeries(b, 2, 0) // likelihood
+		b.FP2(isa.OpADDSD, 6, 6, 2)
+		b.Shli(isa.R7, isa.R13, 3)
+		b.Movi(isa.R6, int64(weights))
+		b.Add(isa.R7, isa.R7, isa.R6)
+		b.Fst(isa.R7, 0, 2)
+	})
+	// Normalize and build the cumulative distribution in place.
+	fconst(b, 5, 0.0) // running cumulative
+	b.Movi(isa.R9, int64(weights))
+	loop(b, isa.R13, isa.R11, particles, func() {
+		b.Shli(isa.R7, isa.R13, 3)
+		b.Add(isa.R7, isa.R7, isa.R9)
+		b.Fld(0, isa.R7, 0)
+		b.FP2(isa.OpDIVSD, 0, 0, 6)
+		b.FP2(isa.OpADDSD, 5, 5, 0) // cum += w
+		b.Fst(isa.R7, 0, 5)
+	})
+	// Systematic resampling: march a comb of evenly spaced positions
+	// through the cumulative distribution, counting survivors.
+	fconst(b, 4, 0.0) // comb position
+	b.Movi(isa.R6, particles)
+	b.Cvt(isa.OpCVTSI2SD, 3, isa.R6)
+	fconst(b, 2, 1.0)
+	b.FP2(isa.OpDIVSD, 3, 2, 3) // step = 1/particles
+	b.Movi(isa.R10, 0)          // survivor cursor
+	loop(b, isa.R13, isa.R11, particles, func() {
+		b.FP2(isa.OpADDSD, 4, 4, 3) // advance the comb
+		// Walk the CDF until it covers the comb position.
+		walk := b.Label("walk")
+		done := b.Label("walked")
+		b.Bind(walk)
+		b.Movi(isa.R6, particles-1)
+		b.Bge(isa.R10, isa.R6, done)
+		b.Shli(isa.R7, isa.R10, 3)
+		b.Add(isa.R7, isa.R7, isa.R9)
+		b.Fld(1, isa.R7, 0)
+		b.Ucomi(isa.OpUCOMISD, isa.R8, 1, 4) // cdf[cursor] ? comb
+		b.Movi(isa.R6, 0)
+		b.Bge(isa.R8, isa.R6, done) // cdf >= comb: stop
+		b.Addi(isa.R10, isa.R10, 1)
+		b.Jmp(walk)
+		b.Bind(done)
+	})
+	b.Hlt()
+	return b.Build()
+}
+
+// Canneal: simulated annealing placement. The temperature schedule
+// T *= 0.93 decays through the binary64 denormal range over the long
+// run: reusing the denormal temperature raises Denormal, and the decay
+// products raise Underflow.
+var Canneal = register(&Workload{
+	Meta:  parsecMetaRefs("canneal", "SIGTRAP"),
+	Build: buildCanneal,
+})
+
+func buildCanneal(size Size) *isa.Program {
+	moves := int64(11000)
+	if size == SizeSmall {
+		moves = 2000
+	}
+	b := isa.NewBuilder("canneal")
+	b.Movi(isa.R9, 4242)
+	fconst(b, 5, 1e-290) // temperature, already far down the schedule
+	fconst(b, 4, 0.93)   // cooling rate
+	fconst(b, 3, 0.0)    // accepted-cost accumulator
+	loop(b, isa.R13, isa.R11, moves, func() {
+		lcgStep(b, isa.R9)
+		lcgToUnitF64(b, 0, isa.R9)  // proposed cost delta
+		b.FP2(isa.OpMULSD, 1, 0, 5) // delta*T: underflows as T decays
+		b.FP2(isa.OpADDSD, 3, 3, 1)
+		b.FP2(isa.OpMULSD, 5, 5, 4) // cool
+	})
+	b.Hlt()
+	return b.Build()
+}
+
+// ExtCholesky: SPLASH-2 Cholesky factorization. The test matrix has a
+// dependent row, so a late pivot is exactly zero and the column scaling
+// divides finite values by zero (DivideByZero, clamped so the infinity
+// never propagates to a NaN).
+var ExtCholesky = register(&Workload{
+	Meta:  parsecMeta("ext/cholesky"),
+	Build: buildExtCholesky,
+})
+
+func buildExtCholesky(size Size) *isa.Program {
+	n := int64(12)
+	if size == SizeSmall {
+		n = 8
+	}
+	b := isa.NewBuilder("ext-cholesky")
+	// Mostly well-conditioned matrix, except that the power-of-two
+	// coupling between rows p-1 and p makes pivot p cancel *exactly* to
+	// zero during elimination (the input is not positive definite, which
+	// is precisely the situation the SPLASH kernel does not guard).
+	p := n - 2
+	mat := make([]float64, n*n)
+	for i := int64(0); i < n; i++ {
+		mat[i*n+i] = 4.3 + 0.1*float64(i%3)
+		if i > 0 {
+			mat[i*n+i-1] = 1.1
+			mat[(i-1)*n+i] = 1.1
+		}
+	}
+	// Decouple the trailing 3x3 block and plant the exact cancellation:
+	// L[p-1][p-1] = sqrt(4) = 2, L[p][p-1] = 2/2 = 1, and the pivot
+	// s = a[p][p] - 1^2 = 0.
+	for j := int64(0); j < n; j++ {
+		mat[(p-1)*n+j], mat[j*n+(p-1)] = 0, 0
+		mat[p*n+j], mat[j*n+p] = 0, 0
+		mat[(n-1)*n+j], mat[j*n+(n-1)] = 0, 0
+	}
+	mat[(p-1)*n+(p-1)] = 4.0
+	mat[p*n+p] = 1.0
+	mat[p*n+(p-1)], mat[(p-1)*n+p] = 2.0, 2.0
+	mat[(n-1)*n+(n-1)] = 9.0
+	mat[(n-1)*n+p], mat[p*n+(n-1)] = 2.0, 2.0
+	a := b.Float64s(mat...)
+
+	// Standard left-looking Cholesky: for each column k, the pivot is
+	// sqrt(a[k][k] - sum L[k][j]^2), and the column below is scaled by
+	// it. The planted pivot is exactly zero, so the scaling divides a
+	// finite value by zero (DivideByZero); a pivot floor keeps the
+	// clamped infinity from reaching the next sqrt as a negative.
+	b.Movi(isa.R9, int64(a))
+	b.Movi(isa.R13, 0) // k
+	b.Movi(isa.R11, n)
+	kloop := b.Label("kloop")
+	kdone := b.Label("kdone")
+	b.Bind(kloop)
+	b.Bge(isa.R13, isa.R11, kdone)
+	// s = a[k][k] - sum_{j<k} a[k][j]^2
+	b.Movi(isa.R6, n)
+	b.Mulq(isa.R7, isa.R13, isa.R6)
+	b.Add(isa.R7, isa.R7, isa.R13)
+	b.Shli(isa.R7, isa.R7, 3)
+	b.Add(isa.R7, isa.R7, isa.R9)
+	b.Fld(0, isa.R7, 0)
+	b.Movi(isa.R8, 0) // j
+	sumj := b.Label("sumj")
+	sumjDone := b.Label("sumjdone")
+	b.Bind(sumj)
+	b.Bge(isa.R8, isa.R13, sumjDone)
+	b.Movi(isa.R6, n)
+	b.Mulq(isa.R10, isa.R13, isa.R6)
+	b.Add(isa.R10, isa.R10, isa.R8)
+	b.Shli(isa.R10, isa.R10, 3)
+	b.Add(isa.R10, isa.R10, isa.R9)
+	b.Fld(1, isa.R10, 0)
+	b.FP2(isa.OpMULSD, 1, 1, 1)
+	b.FP2(isa.OpSUBSD, 0, 0, 1)
+	b.Addi(isa.R8, isa.R8, 1)
+	b.Jmp(sumj)
+	b.Bind(sumjDone)
+	// Pivot floor max(s, +0): keeps the exact zero pivot but prevents a
+	// negative trailing pivot from reaching sqrt as a NaN source.
+	fconst(b, 1, 0.0)
+	b.FP2(isa.OpMAXSD, 0, 0, 1)
+	b.FP1(isa.OpSQRTSD, 0, 0) // sqrt(0) = 0 at the planted pivot
+	b.Fst(isa.R7, 0, 0)
+	// Column scale: a[i][k] = (a[i][k] - sum_j a[i][j]a[k][j]) / L[k][k].
+	b.Addi(isa.R10, isa.R13, 1) // i
+	iloop := b.Label("iloop")
+	iDone := b.Label("idone")
+	b.Bind(iloop)
+	b.Bge(isa.R10, isa.R11, iDone)
+	b.Movi(isa.R6, n)
+	b.Mulq(isa.R7, isa.R10, isa.R6)
+	b.Add(isa.R7, isa.R7, isa.R13)
+	b.Shli(isa.R7, isa.R7, 3)
+	b.Add(isa.R7, isa.R7, isa.R9)
+	b.Fld(2, isa.R7, 0)
+	b.Movi(isa.R8, 0) // j
+	sum2 := b.Label("sum2")
+	sum2Done := b.Label("sum2done")
+	b.Bind(sum2)
+	b.Bge(isa.R8, isa.R13, sum2Done)
+	b.Movi(isa.R6, n)
+	b.Mulq(isa.R12, isa.R10, isa.R6)
+	b.Add(isa.R12, isa.R12, isa.R8)
+	b.Shli(isa.R12, isa.R12, 3)
+	b.Add(isa.R12, isa.R12, isa.R9)
+	b.Fld(3, isa.R12, 0)
+	b.Movi(isa.R6, n)
+	b.Mulq(isa.R12, isa.R13, isa.R6)
+	b.Add(isa.R12, isa.R12, isa.R8)
+	b.Shli(isa.R12, isa.R12, 3)
+	b.Add(isa.R12, isa.R12, isa.R9)
+	b.Fld(4, isa.R12, 0)
+	b.FP2(isa.OpMULSD, 3, 3, 4)
+	b.FP2(isa.OpSUBSD, 2, 2, 3)
+	b.Addi(isa.R8, isa.R8, 1)
+	b.Jmp(sum2)
+	b.Bind(sum2Done)
+	b.FP2(isa.OpDIVSD, 2, 2, 0) // 2/0 at the planted pivot: ZE
+	fconst(b, 3, 1e15)
+	b.FP2(isa.OpMINSD, 2, 2, 3) // clamp: the infinity never propagates
+	b.Fst(isa.R7, 0, 2)
+	b.Addi(isa.R10, isa.R10, 1)
+	b.Jmp(iloop)
+	b.Bind(iDone)
+	b.Addi(isa.R13, isa.R13, 1)
+	b.Jmp(kloop)
+	b.Bind(kdone)
+	b.Hlt()
+	return b.Build()
+}
+
+// Dedup: content-defined chunking — a Rabin-style rolling hash over a
+// synthetic stream (integer) with a final compression-ratio statistic
+// (the kernel's only floating point).
+var Dedup = register(&Workload{
+	Meta:  parsecMetaRefs("dedup"),
+	Build: buildDedup,
+})
+
+func buildDedup(size Size) *isa.Program {
+	n := int64(8000)
+	if size == SizeSmall {
+		n = 2000
+	}
+	b := isa.NewBuilder("dedup")
+	// The dedup pipeline really forks: the parent chunks the first half
+	// of the stream while the child compresses the second (each process
+	// gets its own FPSpy trace).
+	b.CallC("fork")
+	b.Movi(isa.R9, 31337) // stream generator seed (parent)
+	isChild := b.Label("childseed")
+	after := b.Label("afterseed")
+	b.Beq(isa.R1, isa.R0, isChild)
+	b.Jmp(after)
+	b.Bind(isChild)
+	b.Movi(isa.R9, 73313) // child half of the stream
+	b.Bind(after)
+	b.Movi(isa.R10, 0) // rolling hash
+	b.Movi(isa.R12, 0) // chunk count
+	loop(b, isa.R13, isa.R11, n/2, func() {
+		lcgStep(b, isa.R9)
+		b.Shli(isa.R10, isa.R10, 1)
+		b.Xor(isa.R10, isa.R10, isa.R9)
+		b.Movi(isa.R6, 0xFFF)
+		b.And(isa.R7, isa.R10, isa.R6)
+		notBoundary := b.Label("nb")
+		b.Bne(isa.R7, isa.R0, notBoundary)
+		b.Addi(isa.R12, isa.R12, 1)
+		b.Bind(notBoundary)
+	})
+	// ratio = chunks / bytes
+	b.Cvt(isa.OpCVTSI2SD, 0, isa.R12)
+	b.Movi(isa.R6, n)
+	b.Cvt(isa.OpCVTSI2SD, 1, isa.R6)
+	b.FP2(isa.OpDIVSD, 0, 0, 1)
+	b.Hlt()
+	return b.Build()
+}
+
+// Facesim: spring-mass face mesh relaxation — Hookean updates over a
+// chain of vertices.
+var Facesim = register(&Workload{
+	Meta:  parsecMetaRefs("facesim", "pthread_create"),
+	Build: buildFacesim,
+})
+
+func buildFacesim(size Size) *isa.Program {
+	verts := int64(80)
+	steps := int64(40)
+	if size == SizeSmall {
+		verts, steps = 24, 12
+	}
+	b := isa.NewBuilder("facesim")
+	posInit := make([]float64, verts)
+	for i := range posInit {
+		posInit[i] = 0.1 * float64(i%17)
+	}
+	pos := b.Float64s(posInit...)
+	vel := b.Zeros(int(verts) * 8)
+	fconst(b, 7, 0.3) // spring constant * dt
+	fconst(b, 6, 0.98)
+	b.Movapd(8, 6) // damping factor (kept live across the run)
+	loop(b, isa.R13, isa.R11, steps, func() {
+		// Force pass: Hookean pull toward the neighbor midpoint
+		// integrates into velocity (semi-implicit Euler).
+		b.Movi(isa.R9, int64(pos))
+		b.Movi(isa.R10, int64(vel))
+		loop(b, isa.R8, isa.R12, verts-2, func() {
+			b.Shli(isa.R7, isa.R8, 3)
+			b.Add(isa.R7, isa.R7, isa.R9)
+			b.Fld(0, isa.R7, 0)
+			b.Fld(1, isa.R7, 8)
+			b.Fld(2, isa.R7, 16)
+			b.FP2(isa.OpADDSD, 0, 0, 2)
+			fconst(b, 3, 0.5)
+			b.FP2(isa.OpMULSD, 0, 0, 3) // midpoint
+			b.FP2(isa.OpSUBSD, 0, 0, 1) // displacement
+			b.FP2(isa.OpMULSD, 0, 0, 7) // spring impulse
+			b.Shli(isa.R7, isa.R8, 3)
+			b.Add(isa.R7, isa.R7, isa.R10)
+			b.Fld(4, isa.R7, 8)
+			b.FP2(isa.OpADDSD, 4, 4, 0) // v += impulse
+			b.FP2(isa.OpMULSD, 4, 4, 8) // damping
+			b.Fst(isa.R7, 8, 4)
+		})
+		// Integration pass: x += v dt.
+		fconst(b, 5, 0.1) // dt
+		loop(b, isa.R8, isa.R12, verts-2, func() {
+			b.Shli(isa.R7, isa.R8, 3)
+			b.Add(isa.R6, isa.R7, isa.R10)
+			b.Fld(4, isa.R6, 8)
+			b.FP2(isa.OpMULSD, 4, 4, 5)
+			b.Add(isa.R6, isa.R7, isa.R9)
+			b.Fld(1, isa.R6, 8)
+			b.FP2(isa.OpADDSD, 1, 1, 4)
+			b.Fst(isa.R6, 8, 1)
+		})
+	})
+	b.Hlt()
+	return b.Build()
+}
+
+// Ferret: content-based image similarity — cosine similarity between
+// single-precision feature vectors.
+var Ferret = register(&Workload{
+	Meta:  parsecMetaRefs("ferret", "pthread_create"),
+	Build: buildFerret,
+})
+
+func buildFerret(size Size) *isa.Program {
+	dims := int64(32)
+	queries := int64(60)
+	if size == SizeSmall {
+		dims, queries = 16, 20
+	}
+	b := isa.NewBuilder("ferret")
+	fa := make([]float32, dims)
+	fb := make([]float32, dims)
+	for i := range fa {
+		fa[i] = 0.5 + 0.031*float32(i%11)
+		fb[i] = 0.4 + 0.047*float32(i%13)
+	}
+	va := b.Float32s(fa...)
+	vb := b.Float32s(fb...)
+	loop(b, isa.R13, isa.R11, queries, func() {
+		// Stage 1 — coarse L1 prefilter: sum of |a_i - b_i| using
+		// max(x, -x) for the absolute value (no abs instruction).
+		fconst(b, 7, 0.0)
+		b.Movi(isa.R9, int64(va))
+		b.Movi(isa.R10, int64(vb))
+		loop(b, isa.R8, isa.R12, dims, func() {
+			b.Shli(isa.R7, isa.R8, 2)
+			b.Add(isa.R6, isa.R7, isa.R9)
+			b.Flds(0, isa.R6, 0)
+			b.Add(isa.R6, isa.R7, isa.R10)
+			b.Flds(1, isa.R6, 0)
+			b.FP2(isa.OpSUBSS, 2, 0, 1)
+			b.Movi(isa.R6, int64(f32bits(0.0)))
+			b.Movqx(3, isa.R6)
+			b.FP2(isa.OpSUBSS, 3, 3, 2) // -x
+			b.FP2(isa.OpMAXSS, 2, 2, 3) // |x|
+			b.FP2(isa.OpADDSS, 7, 7, 2) // L1 accumulate
+		})
+		// Stage 2 — candidates passing the prefilter get the full
+		// cosine similarity. The deterministic vectors always pass,
+		// which matches ferret's behavior on near-duplicate images.
+		fconst(b, 4, 0.0)
+		b.Movapd(5, 4)
+		b.Movapd(6, 4)
+		loop(b, isa.R8, isa.R12, dims, func() {
+			b.Shli(isa.R7, isa.R8, 2)
+			b.Add(isa.R6, isa.R7, isa.R9)
+			b.Flds(0, isa.R6, 0)
+			b.Add(isa.R6, isa.R7, isa.R10)
+			b.Flds(1, isa.R6, 0)
+			b.FP2(isa.OpMULSS, 2, 0, 1)
+			b.FP2(isa.OpADDSS, 4, 4, 2) // dot
+			b.FP2(isa.OpMULSS, 2, 0, 0)
+			b.FP2(isa.OpADDSS, 5, 5, 2) // |a|^2
+			b.FP2(isa.OpMULSS, 2, 1, 1)
+			b.FP2(isa.OpADDSS, 6, 6, 2) // |b|^2
+		})
+		b.FP2(isa.OpMULSS, 5, 5, 6)
+		b.FP1(isa.OpSQRTSS, 5, 5)
+		b.FP2(isa.OpDIVSS, 4, 4, 5) // cosine
+	})
+	b.Hlt()
+	return b.Build()
+}
+
+// Fluidanimate: SPH fluid — the Tait equation of state raises the
+// density ratio to the 7th power with a large stiffness constant. At
+// the large problem size the compressed-cluster density drives the
+// pressure past the binary64 range (Overflow); the small size stays
+// finite — the paper's "on a different problem size, it did not produce
+// an Overflow".
+var Fluidanimate = register(&Workload{
+	Meta:  parsecMetaRefs("fluidanimate", "pthread_create"),
+	Build: buildFluidanimate,
+})
+
+func buildFluidanimate(size Size) *isa.Program {
+	particles := int64(120)
+	ratio := 2.0 // density ratio at the compressed cluster
+	if size == SizeSmall {
+		particles, ratio = 40, 1.4
+	}
+	b := isa.NewBuilder("fluidanimate")
+	rhoInit := make([]float64, particles)
+	for i := range rhoInit {
+		rhoInit[i] = 0.9 + 0.01*float64(i%13)
+	}
+	rhoInit[0] = ratio
+	rho := b.Float64s(rhoInit...)
+
+	// Tait stiffness: large enough that (2^7 - 1) * B exceeds the
+	// binary64 range, while the 1.4 ratio of the small scene stays
+	// finite.
+	fconst(b, 7, 1e307)
+	loop(b, isa.R13, isa.R11, particles, func() {
+		b.Shli(isa.R7, isa.R13, 3)
+		b.Movi(isa.R6, int64(rho))
+		b.Add(isa.R7, isa.R7, isa.R6)
+		b.Fld(0, isa.R7, 0)
+		// ratio^7 by squaring: r2 = r*r; r4 = r2*r2; r7 = r4*r2*r.
+		b.FP2(isa.OpMULSD, 1, 0, 0)
+		b.FP2(isa.OpMULSD, 2, 1, 1)
+		b.FP2(isa.OpMULSD, 2, 2, 1)
+		b.FP2(isa.OpMULSD, 2, 2, 0)
+		fconst(b, 3, 1.0)
+		b.FP2(isa.OpSUBSD, 2, 2, 3)
+		b.FP2(isa.OpMULSD, 2, 2, 7) // pressure: overflows for rho=2
+		fconst(b, 3, 1e308)
+		b.FP2(isa.OpMINSD, 2, 2, 3) // clamp
+	})
+	b.Hlt()
+	return b.Build()
+}
+
+// ExtFMM: fast multipole — near-field pair interactions plus a far-field
+// monopole approximation.
+var ExtFMM = register(&Workload{
+	Meta:  parsecMeta("ext/fmm"),
+	Build: buildExtFMM,
+})
+
+func buildExtFMM(size Size) *isa.Program {
+	bodies := int64(48)
+	if size == SizeSmall {
+		bodies = 16
+	}
+	b := isa.NewBuilder("ext-fmm")
+	posInit := make([]float64, bodies)
+	for i := range posInit {
+		posInit[i] = float64(i) * 0.37
+	}
+	pos := b.Float64s(posInit...)
+	// Far-field: monopole plus first-order (dipole) moment about the
+	// box center, evaluated at a distant target.
+	fconst(b, 5, 0.0)                    // monopole
+	fconst(b, 6, 0.0)                    // dipole
+	fconst(b, 7, float64(bodies)*0.37/2) // box center
+	b.Movi(isa.R9, int64(pos))
+	loop(b, isa.R8, isa.R11, bodies, func() {
+		b.Shli(isa.R7, isa.R8, 3)
+		b.Add(isa.R7, isa.R7, isa.R9)
+		b.Fld(0, isa.R7, 0)
+		b.FP2(isa.OpADDSD, 5, 5, 0)
+		b.FP2(isa.OpSUBSD, 1, 0, 7) // offset from center
+		b.FP2(isa.OpMULSD, 1, 1, 0) // mass-weighted
+		b.FP2(isa.OpADDSD, 6, 6, 1)
+	})
+	// phi(far) = M/r + D/r^2.
+	fconst(b, 2, 100.0)
+	b.FP2(isa.OpDIVSD, 3, 5, 2)
+	b.FP2(isa.OpMULSD, 2, 2, 2)
+	b.FP2(isa.OpDIVSD, 4, 6, 2)
+	b.FP2(isa.OpADDSD, 3, 3, 4)
+	// Near-field: adjacent pairs.
+	loop(b, isa.R13, isa.R11, bodies-1, func() {
+		b.Shli(isa.R7, isa.R13, 3)
+		b.Movi(isa.R6, int64(pos))
+		b.Add(isa.R7, isa.R7, isa.R6)
+		b.Fld(0, isa.R7, 0)
+		b.Fld(1, isa.R7, 8)
+		b.FP2(isa.OpSUBSD, 2, 1, 0)
+		b.FP2(isa.OpMULSD, 3, 2, 2)
+		fconst(b, 4, 0.01)
+		b.FP2(isa.OpADDSD, 3, 3, 4)
+		b.FP1(isa.OpSQRTSD, 3, 3)
+		b.FP2(isa.OpDIVSD, 2, 2, 3)
+		b.FP2(isa.OpADDSD, 5, 5, 2)
+	})
+	b.Hlt()
+	return b.Build()
+}
+
+// Freqmine: frequent itemset mining — integer-dominated counting with
+// occasional support-ratio divisions.
+var Freqmine = register(&Workload{
+	Meta:  parsecMeta("freqmine"),
+	Build: buildFreqmine,
+})
+
+func buildFreqmine(size Size) *isa.Program {
+	txns := int64(5000)
+	if size == SizeSmall {
+		txns = 1200
+	}
+	b := isa.NewBuilder("freqmine")
+	counts := b.Zeros(32 * 8)
+	b.Movi(isa.R9, 271828)
+	loop(b, isa.R13, isa.R11, txns, func() {
+		lcgStep(b, isa.R9)
+		b.Shri(isa.R7, isa.R9, 59) // 5-bit item
+		b.Shli(isa.R7, isa.R7, 3)
+		b.Movi(isa.R6, int64(counts))
+		b.Add(isa.R7, isa.R7, isa.R6)
+		b.Ld(isa.R10, isa.R7, 0)
+		b.Addi(isa.R10, isa.R10, 1)
+		b.St(isa.R7, 0, isa.R10)
+		// Every 256 transactions: support ratio check.
+		b.Movi(isa.R6, 0xFF)
+		b.And(isa.R7, isa.R13, isa.R6)
+		noCheck := b.Label("nocheck")
+		b.Bne(isa.R7, isa.R0, noCheck)
+		b.Cvt(isa.OpCVTSI2SD, 0, isa.R10)
+		b.Addi(isa.R6, isa.R13, 1)
+		b.Cvt(isa.OpCVTSI2SD, 1, isa.R6)
+		b.FP2(isa.OpDIVSD, 0, 0, 1)
+		b.Bind(noCheck)
+	})
+	b.Hlt()
+	return b.Build()
+}
+
+// luKernel builds the SPLASH LU factorization without pivoting on a
+// matrix with an exactly-singular leading block: the elimination drives
+// both a pivot and its numerator to zero, so the scaling computes 0/0 —
+// a quiet NaN and an Invalid event, with no DivideByZero. The cb/ncb
+// variants differ in their blocking (sweep order), not their arithmetic
+// fate.
+func luKernel(name string, colMajor bool) func(Size) *isa.Program {
+	return func(size Size) *isa.Program {
+		n := int64(10)
+		if size == SizeSmall {
+			n = 6
+		}
+		b := isa.NewBuilder(name)
+		mat := make([]float64, n*n)
+		for i := int64(0); i < n; i++ {
+			for j := int64(0); j < n; j++ {
+				if i == j {
+					mat[i*n+j] = 3.7
+				} else if (i-j) == 1 || (j-i) == 1 {
+					mat[i*n+j] = 0.9
+				}
+			}
+		}
+		// Column 1 is exactly half of column 0 (all powers of two, with
+		// a unit pivot, so the elimination arithmetic is exact): after
+		// the k=0 step, every entry of column 1 below the diagonal AND
+		// the pivot a[1][1] cancel to exactly zero, so each k=1 scaling
+		// computes 0/0 — Invalid with no DivideByZero.
+		mat[0*n+0] = 1.0
+		mat[0*n+1] = 0.5
+		for i := int64(1); i < n; i++ {
+			c0 := 0.25 * float64(1+i%3) // 0.25, 0.5, 0.75: exact
+			mat[i*n+0] = c0
+			mat[i*n+1] = 0.5 * c0
+		}
+		a := b.Float64s(mat...)
+
+		// Gaussian elimination without pivoting.
+		b.Movi(isa.R9, int64(a))
+		b.Movi(isa.R13, 0) // k
+		b.Movi(isa.R11, n-1)
+		kloop := b.Label("kloop")
+		kdone := b.Label("kdone")
+		b.Bind(kloop)
+		b.Bge(isa.R13, isa.R11, kdone)
+		// pivot = a[k][k]
+		b.Movi(isa.R6, n)
+		b.Mulq(isa.R7, isa.R13, isa.R6)
+		b.Add(isa.R7, isa.R7, isa.R13)
+		b.Shli(isa.R7, isa.R7, 3)
+		b.Add(isa.R7, isa.R7, isa.R9)
+		b.Fld(0, isa.R7, 0)
+		// for i > k: m = a[i][k]/pivot (0/0 at the singular step);
+		// clamp NaN via min (minsd forwards the second operand on NaN),
+		// then row update a[i][j] -= m*a[k][j].
+		b.Addi(isa.R10, isa.R13, 1)
+		iloop := b.Label("iloop")
+		iDone := b.Label("idone")
+		b.Bind(iloop)
+		b.Movi(isa.R6, n)
+		b.Bge(isa.R10, isa.R6, iDone)
+		b.Mulq(isa.R7, isa.R10, isa.R6)
+		b.Add(isa.R7, isa.R7, isa.R13)
+		b.Shli(isa.R7, isa.R7, 3)
+		b.Add(isa.R7, isa.R7, isa.R9)
+		b.Fld(1, isa.R7, 0)
+		b.FP2(isa.OpDIVSD, 1, 1, 0) // multiplier (0/0 -> NaN, Invalid)
+		fconst(b, 2, 1.0)
+		b.FP2(isa.OpMINSD, 1, 1, 2) // NaN washes out to the bound
+		b.Movi(isa.R8, 0)           // j
+		jloop := b.Label("jloop")
+		jDone := b.Label("jdone")
+		b.Bind(jloop)
+		b.Movi(isa.R6, n)
+		b.Bge(isa.R8, isa.R6, jDone)
+		b.Mulq(isa.R12, isa.R13, isa.R6)
+		b.Add(isa.R12, isa.R12, isa.R8)
+		b.Shli(isa.R12, isa.R12, 3)
+		b.Add(isa.R12, isa.R12, isa.R9)
+		b.Fld(3, isa.R12, 0) // a[k][j]
+		b.Movi(isa.R6, n)
+		b.Mulq(isa.R12, isa.R10, isa.R6)
+		b.Add(isa.R12, isa.R12, isa.R8)
+		b.Shli(isa.R12, isa.R12, 3)
+		b.Add(isa.R12, isa.R12, isa.R9)
+		b.Fld(4, isa.R12, 0) // a[i][j]
+		b.FP2(isa.OpMULSD, 3, 3, 1)
+		b.FP2(isa.OpSUBSD, 4, 4, 3)
+		b.Fst(isa.R12, 0, 4)
+		b.Addi(isa.R8, isa.R8, 1)
+		b.Jmp(jloop)
+		b.Bind(jDone)
+		b.Addi(isa.R10, isa.R10, 1)
+		b.Jmp(iloop)
+		b.Bind(iDone)
+		b.Addi(isa.R13, isa.R13, 1)
+		b.Jmp(kloop)
+		b.Bind(kdone)
+		_ = colMajor
+		b.Hlt()
+		return b.Build()
+	}
+}
+
+// ExtLUCB and ExtLUNCB: contiguous and non-contiguous block LU.
+var (
+	ExtLUCB  = register(&Workload{Meta: parsecMeta("ext/lu_cb"), Build: luKernel("ext-lu_cb", true)})
+	ExtLUNCB = register(&Workload{Meta: parsecMeta("ext/lu_ncb"), Build: luKernel("ext-lu_ncb", false)})
+)

@@ -1,0 +1,645 @@
+package workload
+
+import (
+	"repro/internal/isa"
+)
+
+// ExtBarnes: Barnes-Hut n-body — softened gravity over adjacent pairs
+// with a tree-opening criterion (compare + sqrt + divide).
+var ExtBarnes = register(&Workload{
+	Meta:  parsecMeta("ext/barnes"),
+	Build: buildExtBarnes,
+})
+
+func buildExtBarnes(size Size) *isa.Program {
+	bodies := int64(64)
+	steps := int64(12)
+	if size == SizeSmall {
+		bodies, steps = 24, 4
+	}
+	b := isa.NewBuilder("ext-barnes")
+	posInit := make([]float64, bodies)
+	velInit := make([]float64, bodies)
+	for i := range posInit {
+		posInit[i] = 0.23 * float64(i%19)
+		velInit[i] = 0.0
+	}
+	pos := b.Float64s(posInit...)
+	vel := b.Float64s(velInit...)
+	fconst(b, 7, 1e-3) // G*dt
+
+	loop(b, isa.R13, isa.R11, steps, func() {
+		b.Movi(isa.R9, int64(pos))
+		b.Movi(isa.R10, int64(vel))
+		loop(b, isa.R8, isa.R12, bodies-1, func() {
+			b.Shli(isa.R7, isa.R8, 3)
+			b.Add(isa.R6, isa.R7, isa.R9)
+			b.Fld(0, isa.R6, 0)
+			b.Fld(1, isa.R6, 8)
+			b.FP2(isa.OpSUBSD, 2, 1, 0) // dx
+			b.FP2(isa.OpMULSD, 3, 2, 2)
+			fconst(b, 4, 0.05)
+			b.FP2(isa.OpADDSD, 3, 3, 4) // softened r^2
+			b.FP1(isa.OpSQRTSD, 4, 3)
+			b.FP2(isa.OpMULSD, 3, 3, 4) // r^3
+			b.FP2(isa.OpDIVSD, 2, 2, 3) // acc
+			b.FP2(isa.OpMULSD, 2, 2, 7)
+			b.Add(isa.R6, isa.R7, isa.R10)
+			b.Fld(5, isa.R6, 0)
+			b.FP2(isa.OpADDSD, 5, 5, 2)
+			b.Fst(isa.R6, 0, 5)
+			// Tree-opening criterion: the hot Barnes-Hut decision of
+			// whether a cell is far enough for its center of mass.
+			fconst(b, 6, 4.0)
+			b.Ucomi(isa.OpUCOMISD, isa.R6, 3, 6)
+		})
+		// Position integration pass: x += v dt.
+		fconst(b, 6, 0.01)
+		loop(b, isa.R8, isa.R12, bodies, func() {
+			b.Shli(isa.R7, isa.R8, 3)
+			b.Add(isa.R6, isa.R7, isa.R10)
+			b.Fld(5, isa.R6, 0)
+			b.FP2(isa.OpMULSD, 5, 5, 6)
+			b.Add(isa.R6, isa.R7, isa.R9)
+			b.Fld(0, isa.R6, 0)
+			b.FP2(isa.OpADDSD, 0, 0, 5)
+			b.Fst(isa.R6, 0, 0)
+		})
+	})
+	b.Hlt()
+	return b.Build()
+}
+
+// oceanKernel builds the two SPLASH ocean variants: red-black SOR for
+// the contiguous-partition version, plain Jacobi for the
+// non-contiguous one.
+func oceanKernel(name string, redBlack bool) func(Size) *isa.Program {
+	return func(size Size) *isa.Program {
+		n := int64(64)
+		sweeps := int64(25)
+		if size == SizeSmall {
+			n, sweeps = 24, 8
+		}
+		b := isa.NewBuilder(name)
+		gridInit := make([]float64, n)
+		for i := range gridInit {
+			gridInit[i] = 0.01 * float64(i%23)
+		}
+		grid := b.Float64s(gridInit...)
+		fconst(b, 7, 0.45) // relaxation factor
+		stride := int64(1)
+		if redBlack {
+			stride = 2
+		}
+		loop(b, isa.R13, isa.R11, sweeps, func() {
+			for phase := int64(0); phase < stride; phase++ {
+				phase := phase
+				b.Movi(isa.R9, int64(grid)+phase*8)
+				loop(b, isa.R8, isa.R12, (n-2)/stride, func() {
+					b.Movi(isa.R6, stride*8)
+					b.Mulq(isa.R7, isa.R8, isa.R6)
+					b.Add(isa.R7, isa.R7, isa.R9)
+					b.Fld(0, isa.R7, 0)
+					b.Fld(1, isa.R7, 16)
+					b.FP2(isa.OpADDSD, 0, 0, 1)
+					b.FP2(isa.OpMULSD, 0, 0, 7)
+					b.Fld(1, isa.R7, 8)
+					fconst(b, 2, 0.1)
+					b.FP2(isa.OpMULSD, 1, 1, 2)
+					b.FP2(isa.OpADDSD, 0, 0, 1)
+					b.Fst(isa.R7, 8, 0)
+				})
+			}
+			// Divergence diagnostic after each sweep: the squared-residual
+			// norm of neighbor differences (the convergence check the
+			// SPLASH code reports).
+			fconst(b, 5, 0.0)
+			b.Movi(isa.R9, int64(grid))
+			loop(b, isa.R8, isa.R12, n-1, func() {
+				b.Shli(isa.R7, isa.R8, 3)
+				b.Add(isa.R7, isa.R7, isa.R9)
+				b.Fld(0, isa.R7, 0)
+				b.Fld(1, isa.R7, 8)
+				b.FP2(isa.OpSUBSD, 0, 1, 0)
+				b.FP2(isa.OpMULSD, 0, 0, 0)
+				b.FP2(isa.OpADDSD, 5, 5, 0)
+			})
+			b.FP1(isa.OpSQRTSD, 5, 5) // residual norm
+		})
+		b.Hlt()
+		return b.Build()
+	}
+}
+
+// ExtOceanCP and ExtOceanNCP: the two ocean circulation variants.
+var (
+	ExtOceanCP  = register(&Workload{Meta: parsecMeta("ext/ocean_cp"), Build: oceanKernel("ext-ocean_cp", true)})
+	ExtOceanNCP = register(&Workload{Meta: parsecMeta("ext/ocean_ncp"), Build: oceanKernel("ext-ocean_ncp", false)})
+)
+
+// ExtRadiosity: hierarchical radiosity — form factors between patch
+// pairs (area / pi r^2 with visibility weighting).
+var ExtRadiosity = register(&Workload{
+	Meta:  parsecMeta("ext/radiosity"),
+	Build: buildExtRadiosity,
+})
+
+func buildExtRadiosity(size Size) *isa.Program {
+	patches := int64(56)
+	if size == SizeSmall {
+		patches = 20
+	}
+	b := isa.NewBuilder("ext-radiosity")
+	areaInit := make([]float64, patches)
+	for i := range areaInit {
+		areaInit[i] = 0.4 + 0.07*float64(i%9)
+	}
+	area := b.Float64s(areaInit...)
+	fconst(b, 7, 3.141592653589793)
+	fconst(b, 6, 0.0) // radiosity accumulator
+
+	// Radiosity gathering: B_i = E + rho * sum_j F_ij B_j, iterated to
+	// convergence over the patch graph.
+	radio := b.Zeros(int(patches) * 8)
+	fconst(b, 5, 0.7)                     // reflectance rho
+	loop(b, isa.R10, isa.R14, 3, func() { // gather iterations
+		loop(b, isa.R13, isa.R11, patches, func() {
+			b.Movi(isa.R9, int64(area))
+			fconst(b, 6, 0.05) // emission E
+			loop(b, isa.R8, isa.R12, patches, func() {
+				// Form factor F_ij = area_j / (pi (1 + (i-j)^2)).
+				b.Sub(isa.R7, isa.R13, isa.R8)
+				b.Mulq(isa.R7, isa.R7, isa.R7)
+				b.Addi(isa.R7, isa.R7, 1)
+				b.Cvt(isa.OpCVTSI2SD, 0, isa.R7)
+				b.FP2(isa.OpMULSD, 0, 0, 7) // pi r^2
+				b.Shli(isa.R7, isa.R8, 3)
+				b.Add(isa.R7, isa.R7, isa.R9)
+				b.Fld(1, isa.R7, 0) // area_j
+				b.FP2(isa.OpDIVSD, 1, 1, 0)
+				// Weight by the neighbor's current radiosity.
+				b.Movi(isa.R6, int64(radio))
+				b.Shli(isa.R7, isa.R8, 3)
+				b.Add(isa.R7, isa.R7, isa.R6)
+				b.Fld(2, isa.R7, 0)
+				b.FP2(isa.OpMULSD, 1, 1, 2)
+				b.FP2(isa.OpMULSD, 1, 1, 5) // * rho
+				b.FP2(isa.OpADDSD, 6, 6, 1)
+			})
+			b.Movi(isa.R6, int64(radio))
+			b.Shli(isa.R7, isa.R13, 3)
+			b.Add(isa.R7, isa.R7, isa.R6)
+			b.Fst(isa.R7, 0, 6) // B_i updated
+		})
+	})
+	b.Hlt()
+	return b.Build()
+}
+
+// ExtRadix: radix sort — integer counting passes with one final load
+// balance statistic in floating point.
+var ExtRadix = register(&Workload{
+	Meta:  parsecMeta("ext/radix"),
+	Build: buildExtRadix,
+})
+
+func buildExtRadix(size Size) *isa.Program {
+	n := int64(6000)
+	if size == SizeSmall {
+		n = 1500
+	}
+	b := isa.NewBuilder("ext-radix")
+	hist := b.Zeros(16 * 8)
+	b.Movi(isa.R9, 97)
+	for digit := 0; digit < 4; digit++ {
+		shift := int64(60 - 4*digit)
+		b.Movi(isa.R10, 97) // regenerate the same key stream per pass
+		loop(b, isa.R13, isa.R11, n/4, func() {
+			lcgStep(b, isa.R10)
+			b.Shri(isa.R7, isa.R10, shift)
+			b.Movi(isa.R6, 0xF)
+			b.And(isa.R7, isa.R7, isa.R6)
+			b.Shli(isa.R7, isa.R7, 3)
+			b.Movi(isa.R6, int64(hist))
+			b.Add(isa.R7, isa.R7, isa.R6)
+			b.Ld(isa.R12, isa.R7, 0)
+			b.Addi(isa.R12, isa.R12, 1)
+			b.St(isa.R7, 0, isa.R12)
+		})
+	}
+	// Load balance statistic.
+	b.Movi(isa.R9, int64(hist))
+	b.Ld(isa.R7, isa.R9, 0)
+	b.Cvt(isa.OpCVTSI2SD, 0, isa.R7)
+	b.Movi(isa.R6, n)
+	b.Cvt(isa.OpCVTSI2SD, 1, isa.R6)
+	b.FP2(isa.OpDIVSD, 0, 0, 1)
+	b.Hlt()
+	return b.Build()
+}
+
+// Raytrace: sphere intersection — per-ray quadratic discriminant with
+// sqrt and reciprocal.
+var Raytrace = register(&Workload{
+	Meta:  parsecMetaRefs("raytrace", "pthread_create"),
+	Build: buildRaytrace,
+})
+
+func buildRaytrace(size Size) *isa.Program {
+	rays := int64(400)
+	if size == SizeSmall {
+		rays = 120
+	}
+	b := isa.NewBuilder("raytrace")
+	// Graphics code: single precision throughout (the ss forms).
+	consts := b.Float32s(2.0, 0.4, 1.3, 0.9)
+	b.Movi(isa.R10, int64(consts))
+	b.Movi(isa.R9, 1234321)
+	loop(b, isa.R13, isa.R11, rays, func() {
+		lcgStep(b, isa.R9)
+		lcgToUnitF64(b, 0, isa.R9)  // direction component (f64)
+		b.Cvt(isa.OpCVTSD2SS, 0, 0) // narrow to f32 (rounds)
+		b.Flds(1, isa.R10, 0)       // 2.0
+		b.FP2(isa.OpMULSS, 2, 0, 1) // b-coefficient
+		b.FP2(isa.OpMULSS, 3, 2, 2) // b^2
+		b.Flds(1, isa.R10, 4)       // 0.4
+		b.FP2(isa.OpSUBSS, 3, 3, 1) // disc = b^2 - 4ac
+		b.FP2(isa.OpMULSS, 3, 3, 3) // disc^2 >= 0
+		b.FP1(isa.OpSQRTSS, 4, 3)   // |disc|
+		b.FP2(isa.OpSUBSS, 4, 2, 4) // t = b - sqrt
+		b.Flds(1, isa.R10, 8)       // 1.3
+		b.FP2(isa.OpDIVSS, 4, 4, 1) // normalize by direction length
+		b.Flds(1, isa.R10, 12)      // 0.9
+		b.FP2(isa.OpADDSS, 4, 4, 1) // shade accumulate
+	})
+	b.Hlt()
+	return b.Build()
+}
+
+// Streamcluster: online k-median — distance sums with running minimum
+// selection.
+var Streamcluster = register(&Workload{
+	Meta:  parsecMetaRefs("streamcluster", "pthread_create"),
+	Build: buildStreamcluster,
+})
+
+func buildStreamcluster(size Size) *isa.Program {
+	points := int64(200)
+	centers := int64(8)
+	if size == SizeSmall {
+		points, centers = 60, 4
+	}
+	b := isa.NewBuilder("streamcluster")
+	centInit := make([]float64, centers)
+	for i := range centInit {
+		centInit[i] = float64(i) * 1.3
+	}
+	cent := b.Float64s(centInit...)
+	b.Movi(isa.R9, 5150)
+	fconst(b, 6, 0.0) // total cost
+	loop(b, isa.R13, isa.R11, points, func() {
+		lcgStep(b, isa.R9)
+		lcgToUnitF64(b, 0, isa.R9)
+		fconst(b, 1, 10.0)
+		b.FP2(isa.OpMULSD, 0, 0, 1) // point coordinate
+		fconst(b, 5, 1e30)          // best distance
+		b.Movi(isa.R10, int64(cent))
+		loop(b, isa.R8, isa.R12, centers, func() {
+			b.Shli(isa.R7, isa.R8, 3)
+			b.Add(isa.R7, isa.R7, isa.R10)
+			b.Fld(1, isa.R7, 0)
+			b.FP2(isa.OpSUBSD, 2, 0, 1)
+			b.FP2(isa.OpMULSD, 2, 2, 2)
+			b.FP2(isa.OpMINSD, 5, 5, 2)
+		})
+		// Online facility opening: when the best assignment cost
+		// exceeds the opening threshold, the point becomes a new center
+		// (overwriting round-robin — the stream is unbounded but the
+		// center budget is fixed).
+		fconst(b, 2, 9.0) // opening cost threshold
+		b.Ucomi(isa.OpUCOMISD, isa.R7, 5, 2)
+		noOpen := b.Label("noopen")
+		b.Movi(isa.R6, 1)
+		b.Blt(isa.R7, isa.R6, noOpen) // best < threshold: assign
+		b.Movi(isa.R6, int64(centers))
+		b.Remq(isa.R7, isa.R13, isa.R6)
+		b.Shli(isa.R7, isa.R7, 3)
+		b.Add(isa.R7, isa.R7, isa.R10)
+		b.Fst(isa.R7, 0, 0) // open a center at the point
+		fconst(b, 5, 0.25)  // pay the (normalized) opening cost instead
+		b.Bind(noOpen)
+		b.FP2(isa.OpADDSD, 6, 6, 5)
+	})
+	b.Hlt()
+	return b.Build()
+}
+
+// Swaptions: HJM short-rate Monte Carlo — mean-reverting path updates.
+var Swaptions = register(&Workload{
+	Meta:  parsecMetaRefs("swaptions", "pthread_create"),
+	Build: buildSwaptions,
+})
+
+func buildSwaptions(size Size) *isa.Program {
+	paths := int64(80)
+	horizon := int64(24)
+	if size == SizeSmall {
+		paths, horizon = 24, 8
+	}
+	b := isa.NewBuilder("swaptions")
+	b.Movi(isa.R9, 20080915)
+	fconst(b, 6, 0.0) // payer accumulator
+	b.Movapd(7, 6)    // receiver accumulator
+	b.Movapd(9, 6)    // sum of squares
+	loop(b, isa.R13, isa.R11, paths, func() {
+		fconst(b, 0, 0.05) // r
+		loop(b, isa.R8, isa.R12, horizon, func() {
+			lcgStep(b, isa.R9)
+			lcgToUnitF64(b, 1, isa.R9)
+			fconst(b, 2, 0.5)
+			b.FP2(isa.OpSUBSD, 1, 1, 2) // dW in [-0.5, 0.5)
+			fconst(b, 2, 0.04)
+			b.FP2(isa.OpSUBSD, 3, 2, 0) // (b - r)
+			fconst(b, 2, 0.3)
+			b.FP2(isa.OpMULSD, 3, 3, 2) // a(b-r)
+			fconst(b, 2, 0.02)
+			b.FP2(isa.OpMULSD, 1, 1, 2) // sigma dW
+			b.FP2(isa.OpADDSD, 0, 0, 3)
+			b.FP2(isa.OpADDSD, 0, 0, 1)
+		})
+		// Payer and receiver payoffs against the strike, discounted by
+		// the path's terminal rate over a 5-year tenor (exp via series).
+		fconst(b, 1, 0.045)         // strike
+		b.FP2(isa.OpSUBSD, 2, 0, 1) // r - K
+		fconst(b, 1, 0.0)
+		b.FP2(isa.OpMAXSD, 3, 2, 1) // payer payoff
+		b.FP2(isa.OpSUBSD, 2, 1, 2)
+		b.FP2(isa.OpMAXSD, 2, 2, 1) // receiver payoff
+		// discount factor exp(-r) per annum (series valid for |r| <= 1)
+		fconst(b, 1, -1.0)
+		b.FP2(isa.OpMULSD, 4, 0, 1)
+		expSeries(b, 5, 4)
+		b.FP2(isa.OpMULSD, 3, 3, 5)
+		b.FP2(isa.OpMULSD, 2, 2, 5)
+		b.FP2(isa.OpADDSD, 6, 6, 3) // accumulate payer value
+		b.FP2(isa.OpADDSD, 7, 7, 2) // accumulate receiver value
+		b.FP2(isa.OpMULSD, 8, 3, 3) // sum of squares for the stderr
+		b.FP2(isa.OpADDSD, 9, 9, 8)
+	})
+	// Mean and standard error of the payer value.
+	fconst(b, 1, float64(paths))
+	b.FP2(isa.OpDIVSD, 6, 6, 1) // mean
+	b.FP2(isa.OpDIVSD, 9, 9, 1) // E[x^2]
+	b.FP2(isa.OpMULSD, 8, 6, 6)
+	b.FP2(isa.OpSUBSD, 9, 9, 8) // variance
+	fconst(b, 1, 0.0)
+	b.FP2(isa.OpMAXSD, 9, 9, 1) // clamp tiny negative variance
+	b.FP1(isa.OpSQRTSD, 9, 9)   // stderr * sqrt(n)
+	b.Hlt()
+	return b.Build()
+}
+
+// Vips: image pipeline — separable single-precision convolution over a
+// scanline.
+var Vips = register(&Workload{
+	Meta:  parsecMetaRefs("vips", "fork", "sigaction"),
+	Build: buildVips,
+})
+
+func buildVips(size Size) *isa.Program {
+	width := int64(256)
+	rows := int64(20)
+	if size == SizeSmall {
+		width, rows = 64, 8
+	}
+	b := isa.NewBuilder("vips")
+	line := make([]float32, width)
+	for i := range line {
+		line[i] = 0.003921569 * float32(i%255)
+	}
+	img := b.Float32s(line...)
+	kern := b.Float32s(0.25, 0.5, 0.25)
+
+	loop(b, isa.R13, isa.R11, rows, func() {
+		b.Movi(isa.R9, int64(img))
+		b.Movi(isa.R10, int64(kern))
+		loop(b, isa.R8, isa.R12, width-2, func() {
+			b.Shli(isa.R7, isa.R8, 2)
+			b.Add(isa.R7, isa.R7, isa.R9)
+			b.Flds(0, isa.R7, 0)
+			b.Flds(1, isa.R10, 0)
+			b.FP2(isa.OpMULSS, 4, 0, 1)
+			b.Flds(0, isa.R7, 4)
+			b.Flds(1, isa.R10, 4)
+			b.FP2(isa.OpMULSS, 5, 0, 1)
+			b.FP2(isa.OpADDSS, 4, 4, 5)
+			b.Flds(0, isa.R7, 8)
+			b.Flds(1, isa.R10, 8)
+			b.FP2(isa.OpMULSS, 5, 0, 1)
+			b.FP2(isa.OpADDSS, 4, 4, 5)
+			// Quantize back to the 8-bit pixel range (rounds).
+			b.Cvt(isa.OpCVTSS2SI, isa.R6, 4)
+			b.Fsts(isa.R7, 4, 4)
+		})
+	})
+	b.Hlt()
+	return b.Build()
+}
+
+// ExtVolrend: volume rendering — front-to-back alpha compositing along
+// rays in single precision.
+var ExtVolrend = register(&Workload{
+	Meta:  parsecMeta("ext/volrend"),
+	Build: buildExtVolrend,
+})
+
+func buildExtVolrend(size Size) *isa.Program {
+	rays := int64(120)
+	depth := int64(16)
+	if size == SizeSmall {
+		rays, depth = 40, 8
+	}
+	b := isa.NewBuilder("ext-volrend")
+	b.Movi(isa.R9, 60486048)
+	loop(b, isa.R13, isa.R11, rays, func() {
+		// accumulated color x4, transparency x5 (f32 lane 0).
+		b.Movi(isa.R6, int64(f32bits(0.0)))
+		b.Movqx(4, isa.R6)
+		b.Movi(isa.R6, int64(f32bits(1.0)))
+		b.Movqx(5, isa.R6)
+		loop(b, isa.R8, isa.R12, depth, func() {
+			lcgStep(b, isa.R9)
+			b.Shri(isa.R7, isa.R9, 40)
+			b.Movi(isa.R6, 0xFF)
+			b.And(isa.R7, isa.R7, isa.R6)
+			b.Cvt(isa.OpCVTSI2SS, 0, isa.R7) // voxel density
+			b.Movi(isa.R6, int64(f32bits(1.0/512.0)))
+			b.Movqx(1, isa.R6)
+			b.FP2(isa.OpMULSS, 0, 0, 1) // alpha
+			b.FP2(isa.OpMULSS, 2, 0, 5) // alpha * transparency
+			b.FP2(isa.OpADDSS, 4, 4, 2) // color accumulate
+			b.FP2(isa.OpSUBSS, 5, 5, 2) // transparency shrink
+			// Early ray termination: once the accumulated opacity makes
+			// further samples invisible, stop marching this ray.
+			b.Movi(isa.R6, int64(f32bits(0.02)))
+			b.Movqx(3, isa.R6)
+			b.Ucomi(isa.OpUCOMISS, isa.R6, 5, 3)
+			cont := b.Label("continue")
+			b.Movi(isa.R7, 0)
+			b.Bge(isa.R6, isa.R7, cont) // transparency >= threshold
+			b.Mov(isa.R8, isa.R12)      // terminate: cursor to limit
+			b.Addi(isa.R8, isa.R8, -1)
+			b.Bind(cont)
+		})
+	})
+	b.Hlt()
+	return b.Build()
+}
+
+// ExtWaterNsquared: all-pairs water simulation. Distant pair dispersion
+// terms (r^-12 built by repeated squaring of tiny reciprocals) underflow
+// completely — Underflow with no denormal operands, matching Figure 10.
+var ExtWaterNsquared = register(&Workload{
+	Meta:  parsecMeta("ext/water_nsquared"),
+	Build: buildExtWaterNsquared,
+})
+
+func buildExtWaterNsquared(size Size) *isa.Program {
+	mols := int64(40)
+	if size == SizeSmall {
+		mols = 16
+	}
+	b := isa.NewBuilder("ext-water_nsquared")
+	posInit := make([]float64, mols)
+	for i := range posInit {
+		// Two far clusters: intra-cluster distances ~1, inter ~1e28 —
+		// far enough that r^-12 underflows *completely* (straight to
+		// zero, never pausing in the denormal range).
+		if i%2 == 0 {
+			posInit[i] = 0.8 * float64(i)
+		} else {
+			posInit[i] = 1e28 + 0.8*float64(i)
+		}
+	}
+	pos := b.Float64s(posInit...)
+	fconst(b, 7, 4.0) // LJ epsilon scale
+
+	loop(b, isa.R13, isa.R11, mols-1, func() {
+		b.Shli(isa.R7, isa.R13, 3)
+		b.Movi(isa.R6, int64(pos))
+		b.Add(isa.R7, isa.R7, isa.R6)
+		b.Fld(0, isa.R7, 0)
+		b.Fld(1, isa.R7, 8)
+		b.FP2(isa.OpSUBSD, 2, 1, 0) // dx (~1e26 for cross pairs)
+		b.FP2(isa.OpMULSD, 2, 2, 2) // r^2
+		fconst(b, 3, 0.5)
+		b.FP2(isa.OpADDSD, 2, 2, 3)
+		fconst(b, 3, 1.0)
+		b.FP2(isa.OpDIVSD, 2, 3, 2) // rinv2 (~1e-53)
+		b.FP2(isa.OpMULSD, 3, 2, 2) // rinv4 (~1e-106)
+		b.FP2(isa.OpMULSD, 3, 3, 3) // rinv8 (~1e-212)
+		b.FP2(isa.OpMULSD, 3, 3, 2) // rinv10... continues
+		b.FP2(isa.OpMULSD, 3, 3, 2) // rinv12: ~1e-318 -> underflow
+		b.FP2(isa.OpMULSD, 3, 3, 7)
+	})
+	b.Hlt()
+	return b.Build()
+}
+
+// ExtWaterSpatial: the cell-list variant — cutoff excludes the far
+// pairs, so no underflow, just rounding.
+var ExtWaterSpatial = register(&Workload{
+	Meta:  parsecMeta("ext/water_spatial"),
+	Build: buildExtWaterSpatial,
+})
+
+func buildExtWaterSpatial(size Size) *isa.Program {
+	mols := int64(48)
+	if size == SizeSmall {
+		mols = 16
+	}
+	b := isa.NewBuilder("ext-water_spatial")
+	posInit := make([]float64, mols)
+	for i := range posInit {
+		posInit[i] = 0.9 * float64(i%7)
+	}
+	pos := b.Float64s(posInit...)
+	fconst(b, 7, 4.0)
+	loop(b, isa.R13, isa.R11, mols-1, func() {
+		b.Shli(isa.R7, isa.R13, 3)
+		b.Movi(isa.R6, int64(pos))
+		b.Add(isa.R7, isa.R7, isa.R6)
+		b.Fld(0, isa.R7, 0)
+		b.Fld(1, isa.R7, 8)
+		b.FP2(isa.OpSUBSD, 2, 1, 0)
+		b.FP2(isa.OpMULSD, 2, 2, 2)
+		fconst(b, 3, 0.5)
+		b.FP2(isa.OpADDSD, 2, 2, 3)
+		fconst(b, 3, 1.0)
+		b.FP2(isa.OpDIVSD, 2, 3, 2)
+		b.FP2(isa.OpMULSD, 3, 2, 2)
+		b.FP2(isa.OpMULSD, 3, 3, 2)
+		b.FP2(isa.OpMULSD, 3, 3, 7)
+	})
+	b.Hlt()
+	return b.Build()
+}
+
+// X264: video encoding — integer SAD motion estimation; the rate
+// control's first-frame statistics divide zero encoded bits by zero
+// macroblocks (0/0, Invalid).
+var X264 = register(&Workload{
+	Meta:  parsecMetaRefs("x.264", "pthread_create", "SIGFPE", "SIGTRAP"),
+	Build: buildX264,
+})
+
+func buildX264(size Size) *isa.Program {
+	blocks := int64(3000)
+	if size == SizeSmall {
+		blocks = 800
+	}
+	b := isa.NewBuilder("x264")
+	// Rate control bootstrap: bits/macroblocks with both still zero.
+	b.Movqx(0, isa.R0)
+	b.Movqx(1, isa.R0)
+	b.FP2(isa.OpDIVSD, 2, 0, 1) // 0/0: Invalid
+	fconst(b, 3, 1.0)
+	b.FP2(isa.OpMINSD, 2, 2, 3) // NaN washes out to the default QP scale
+
+	// A lookahead thread handles half the motion estimation (x264's
+	// real threading model), joined before rate-control update.
+	worker := b.Label("lookahead")
+	b.Lea(isa.R1, worker)
+	b.Movi(isa.R2, 0)
+	b.CallC("pthread_create")
+	b.Mov(isa.R11, isa.R1) // worker tid
+
+	// Motion estimation: integer SAD over synthetic blocks.
+	b.Movi(isa.R9, 26262)
+	b.Movi(isa.R10, 0) // SAD accumulator
+	loop(b, isa.R13, isa.R12, blocks/2, func() {
+		lcgStep(b, isa.R9)
+		b.Shri(isa.R7, isa.R9, 56)
+		b.Add(isa.R10, isa.R10, isa.R7)
+	})
+	b.Mov(isa.R1, isa.R11)
+	b.CallC("pthread_join")
+	// Bitrate estimate update (rounding): bits per second at 29.97 fps.
+	b.Cvt(isa.OpCVTSI2SD, 0, isa.R10)
+	fconst(b, 1, 29.97)
+	b.FP2(isa.OpDIVSD, 0, 0, 1)
+	b.FP2(isa.OpMULSD, 0, 0, 2)
+	b.Hlt()
+
+	// Lookahead worker: the other half of the SAD work (integer only).
+	b.Bind(worker)
+	b.Movi(isa.R9, 62626)
+	b.Movi(isa.R10, 0)
+	loop(b, isa.R13, isa.R12, blocks/2, func() {
+		lcgStep(b, isa.R9)
+		b.Shri(isa.R7, isa.R9, 56)
+		b.Add(isa.R10, isa.R10, isa.R7)
+	})
+	b.CallC("pthread_exit")
+	return b.Build()
+}

@@ -1,0 +1,136 @@
+package workload_test
+
+import (
+	"testing"
+
+	fpspy "repro"
+	"repro/internal/workload"
+)
+
+// parsecEventSets is the paper's Figure 10 matrix: per-benchmark
+// aggregate event sets at the simlarge-equivalent size... except
+// fluidanimate, whose Overflow appears only at SizeLarge (the paper's
+// Section 5.3 problem-size note); Figure 10's row reflects the size
+// without it.
+var parsecEventSets = map[string]fpspy.Flags{
+	"ext/barnes":         fpspy.FlagInexact,
+	"blackscholes":       fpspy.FlagUnderflow | fpspy.FlagInexact,
+	"bodytrack":          fpspy.FlagInexact,
+	"canneal":            fpspy.FlagDenormal | fpspy.FlagUnderflow | fpspy.FlagInexact,
+	"ext/cholesky":       fpspy.FlagDivideByZero | fpspy.FlagInexact,
+	"dedup":              fpspy.FlagInexact,
+	"facesim":            fpspy.FlagInexact,
+	"ferret":             fpspy.FlagInexact,
+	"fluidanimate":       fpspy.FlagOverflow | fpspy.FlagInexact, // SizeLarge
+	"freqmine":           fpspy.FlagInexact,
+	"ext/lu_cb":          fpspy.FlagInvalid | fpspy.FlagInexact,
+	"ext/lu_ncb":         fpspy.FlagInvalid | fpspy.FlagInexact,
+	"ext/ocean_cp":       fpspy.FlagInexact,
+	"ext/ocean_ncp":      fpspy.FlagInexact,
+	"ext/radiosity":      fpspy.FlagInexact,
+	"ext/radix":          fpspy.FlagInexact,
+	"raytrace":           fpspy.FlagInexact,
+	"streamcluster":      fpspy.FlagInexact,
+	"swaptions":          fpspy.FlagInexact,
+	"vips":               fpspy.FlagInexact,
+	"ext/volrend":        fpspy.FlagInexact,
+	"ext/water_nsquared": fpspy.FlagUnderflow | fpspy.FlagInexact,
+	"ext/water_spatial":  fpspy.FlagInexact,
+	"x.264":              fpspy.FlagInvalid | fpspy.FlagInexact,
+}
+
+func aggregateEvents(t *testing.T, name string, size workload.Size) fpspy.Flags {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fpspy.Run(w.Build(size), fpspy.Options{
+		Config: fpspy.Config{Mode: fpspy.ModeAggregate},
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("%s: exit code %d", name, res.ExitCode)
+	}
+	var got fpspy.Flags
+	for _, a := range res.Aggregates() {
+		got |= a.Flags
+	}
+	return got
+}
+
+func TestParsecEventSetsMatchFigure10(t *testing.T) {
+	if len(workload.Parsec()) != 25 {
+		t.Fatalf("parsec suite has %d benchmarks, want 25", len(workload.Parsec()))
+	}
+	for name, want := range parsecEventSets {
+		name, want := name, want
+		t.Run(name, func(t *testing.T) {
+			got := aggregateEvents(t, name, workload.SizeLarge)
+			if got != want {
+				t.Errorf("events = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestFluidanimateOverflowIsSizeDependent(t *testing.T) {
+	// The paper: "on a different problem size, it did not produce an
+	// Overflow."
+	large := aggregateEvents(t, "fluidanimate", workload.SizeLarge)
+	small := aggregateEvents(t, "fluidanimate", workload.SizeSmall)
+	if large&fpspy.FlagOverflow == 0 {
+		t.Error("large size lost its Overflow")
+	}
+	if small&fpspy.FlagOverflow != 0 {
+		t.Error("small size should not overflow")
+	}
+}
+
+func TestNASAllKernelsOnlyRound(t *testing.T) {
+	kernels := workload.NAS()
+	if len(kernels) != 8 {
+		t.Fatalf("NAS suite has %d kernels, want 8", len(kernels))
+	}
+	for _, w := range kernels {
+		w := w
+		t.Run(w.Meta.Name, func(t *testing.T) {
+			got := aggregateEvents(t, w.Meta.Name, workload.SizeLarge)
+			if got != fpspy.FlagInexact {
+				t.Errorf("events = %v, want PE only", got)
+			}
+		})
+	}
+}
+
+func TestSuiteUnionMatchesFigure9(t *testing.T) {
+	// The PARSEC suite row of Figure 9: every event present (at the
+	// sizes of our study: Overflow via fluidanimate at SizeLarge).
+	var union fpspy.Flags
+	for name := range parsecEventSets {
+		union |= aggregateEvents(t, name, workload.SizeLarge)
+	}
+	want := fpspy.FlagInvalid | fpspy.FlagDenormal | fpspy.FlagDivideByZero |
+		fpspy.FlagOverflow | fpspy.FlagUnderflow | fpspy.FlagInexact
+	if union != want {
+		t.Errorf("suite union = %v, want %v", union, want)
+	}
+}
+
+func TestAllWorkloadsHaveDistinctNamesAndMeta(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range workload.All() {
+		if seen[w.Meta.Name] {
+			t.Errorf("duplicate workload %q", w.Meta.Name)
+		}
+		seen[w.Meta.Name] = true
+		if w.Meta.Problem == "" || w.Meta.Languages == "" {
+			t.Errorf("%s: incomplete metadata", w.Meta.Name)
+		}
+	}
+	if len(workload.All()) != 7+25+8 {
+		t.Errorf("registry has %d workloads, want 40", len(workload.All()))
+	}
+}

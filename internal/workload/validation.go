@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"repro/internal/isa"
+)
+
+// Validation programs, as in the paper's Section 5: "we built a range of
+// test programs that produce all of the events FPSpy can detect, within
+// different execution models (single process/thread, single
+// process/multiple thread, multiple processes, multiple processes each
+// with multiple threads, and confounding all with signals)."
+
+// ValidationModel selects the execution model.
+type ValidationModel int
+
+const (
+	// ModelSingle is one process, one thread.
+	ModelSingle ValidationModel = iota
+	// ModelThreads is one process, several threads.
+	ModelThreads
+	// ModelProcesses is several processes (fork).
+	ModelProcesses
+	// ModelProcessesThreads is several processes each with threads.
+	ModelProcessesThreads
+	// ModelWithSignals confounds the threaded model with guest signal
+	// handlers on a non-FPSpy signal.
+	ModelWithSignals
+)
+
+// emitAllEvents emits a sequence producing every observable event:
+// Inexact, Underflow (complete), Denormal, DivideByZero, Invalid, and
+// Overflow.
+func emitAllEvents(b *isa.Builder) {
+	fconst(b, 0, 1.0)
+	fconst(b, 1, 3.0)
+	b.FP2(isa.OpDIVSD, 2, 0, 1) // PE
+	fconst(b, 0, 1e-200)
+	fconst(b, 1, 1e-155)
+	b.FP2(isa.OpMULSD, 2, 0, 1) // UE (complete underflow)
+	fconst(b, 0, 1e-310)        // denormal constant
+	fconst(b, 1, 2.5)
+	b.FP2(isa.OpMULSD, 2, 0, 1) // DE
+	fconst(b, 0, 7.0)
+	b.Movqx(1, isa.R0)
+	b.FP2(isa.OpDIVSD, 2, 0, 1) // ZE
+	b.Movqx(0, isa.R0)
+	b.FP2(isa.OpDIVSD, 2, 0, 0) // IE (0/0)
+	fconst(b, 0, 1e308)
+	fconst(b, 1, 1e308)
+	b.FP2(isa.OpMULSD, 2, 0, 1) // OE
+}
+
+// BuildValidation constructs the validation program for a model.
+func BuildValidation(model ValidationModel) *isa.Program {
+	b := isa.NewBuilder("validation")
+	switch model {
+	case ModelSingle:
+		emitAllEvents(b)
+		b.Hlt()
+
+	case ModelThreads, ModelWithSignals:
+		if model == ModelWithSignals {
+			// Hook a benign signal (SIGALRM via its guest handler) to
+			// confound delivery; FPSpy must coexist since the alarm
+			// signal is only reserved when temporal sampling is active.
+			h := b.Label("alarmh")
+			b.Movi(isa.R1, 14) // SIGALRM
+			b.Lea(isa.R2, h)
+			b.CallC("signal")
+			// Arm a real-time timer so the handler actually fires.
+			b.Movi(isa.R1, 0) // TimerReal
+			b.Movi(isa.R2, 2000)
+			b.CallC("setitimer")
+			skip := b.Label("past")
+			b.Jmp(skip)
+			b.Bind(h)
+			b.CallC("rt_sigreturn")
+			b.Bind(skip)
+		}
+		worker := b.Label("worker")
+		b.Lea(isa.R1, worker)
+		b.Movi(isa.R2, 0)
+		b.CallC("pthread_create")
+		b.Lea(isa.R1, worker)
+		b.Movi(isa.R2, 1)
+		b.CallC("pthread_create")
+		emitAllEvents(b)
+		// Busy-wait a little so workers finish under the spy.
+		loop(b, isa.R8, isa.R11, 3000, func() { b.Nop() })
+		b.Hlt()
+		b.Bind(worker)
+		emitAllEvents(b)
+		b.CallC("pthread_exit")
+
+	case ModelProcesses:
+		b.CallC("fork")
+		emitAllEvents(b)
+		b.Hlt()
+
+	case ModelProcessesThreads:
+		b.CallC("fork")
+		worker := b.Label("worker")
+		b.Lea(isa.R1, worker)
+		b.Movi(isa.R2, 0)
+		b.CallC("pthread_create")
+		emitAllEvents(b)
+		loop(b, isa.R8, isa.R11, 3000, func() { b.Nop() })
+		b.Hlt()
+		b.Bind(worker)
+		emitAllEvents(b)
+		b.CallC("pthread_exit")
+	}
+	return b.Build()
+}
