@@ -56,7 +56,7 @@ func RankByAddress(recs []trace.Record) []RankEntry {
 	}
 	out := make([]RankEntry, 0, len(counts))
 	for a, c := range counts {
-		out = append(out, RankEntry{Key: hex(a), Count: c})
+		out = append(out, RankEntry{Key: FormatAddr(a), Count: c})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
@@ -67,7 +67,9 @@ func RankByAddress(recs []trace.Record) []RankEntry {
 	return out
 }
 
-func hex(v uint64) string {
+// FormatAddr renders an instruction address as the analyses and rank
+// tables print it (0x-prefixed lowercase hex).
+func FormatAddr(v uint64) string {
 	const digits = "0123456789abcdef"
 	buf := [18]byte{'0', 'x'}
 	n := 2
@@ -260,6 +262,59 @@ func ByThread(recs []trace.Record) map[uint32][]trace.Record {
 		out[recs[i].TID] = append(out[recs[i].TID], recs[i])
 	}
 	return out
+}
+
+// StaticCoverage compares a statically discovered site inventory with a
+// dynamic trace: how much of the static prediction the run exercised,
+// and whether any dynamic event escaped the static analysis. It is the
+// quantitative form of the paper's Section 6 argument — static sites are
+// few, dynamic events concentrate on fewer still.
+type StaticCoverage struct {
+	// StaticSites is the size of the static inventory.
+	StaticSites int
+	// DynamicSites is the number of distinct trap addresses in the trace.
+	DynamicSites int
+	// CoveredSites counts static sites the trace exercised.
+	CoveredSites int
+	// UnknownSites counts dynamic addresses absent from the inventory
+	// (nonzero means the static analysis is unsound).
+	UnknownSites int
+	// SiteCoverage is CoveredSites / StaticSites.
+	SiteCoverage float64
+	// EventCoverage is the fraction of trace events that occurred at a
+	// statically discovered site (1.0 when the analysis is sound).
+	EventCoverage float64
+}
+
+// StaticCoverageOf computes coverage of a static site set (addresses,
+// e.g. from internal/binscan's Scan.SiteAddrs) by a dynamic trace.
+func StaticCoverageOf(recs []trace.Record, sites map[uint64]bool) StaticCoverage {
+	cov := StaticCoverage{StaticSites: len(sites)}
+	seen := make(map[uint64]bool)
+	known := 0
+	for i := range recs {
+		addr := recs[i].Rip
+		if sites[addr] {
+			known++
+		}
+		if seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		cov.DynamicSites++
+		if sites[addr] {
+			cov.CoveredSites++
+		} else {
+			cov.UnknownSites++
+		}
+	}
+	if cov.StaticSites > 0 {
+		cov.SiteCoverage = float64(cov.CoveredSites) / float64(cov.StaticSites)
+	}
+	if len(recs) > 0 {
+		cov.EventCoverage = float64(known) / float64(len(recs))
+	}
+	return cov
 }
 
 // Span returns the first and last event timestamps (cycles).

@@ -158,3 +158,29 @@ func TestByThreadAndSpan(t *testing.T) {
 		t.Error("empty span")
 	}
 }
+
+func TestStaticCoverageOf(t *testing.T) {
+	sites := map[uint64]bool{0x400000: true, 0x400004: true, 0x400008: true, 0x40000c: true}
+	recs := []trace.Record{
+		{Rip: 0x400000}, {Rip: 0x400000}, {Rip: 0x400004}, // two covered sites
+		{Rip: 0x500000}, // unknown: escaped the static analysis
+	}
+	cov := StaticCoverageOf(recs, sites)
+	if cov.StaticSites != 4 || cov.DynamicSites != 3 {
+		t.Errorf("sites = static %d dynamic %d, want 4/3", cov.StaticSites, cov.DynamicSites)
+	}
+	if cov.CoveredSites != 2 || cov.UnknownSites != 1 {
+		t.Errorf("covered = %d unknown = %d, want 2/1", cov.CoveredSites, cov.UnknownSites)
+	}
+	if cov.SiteCoverage != 0.5 {
+		t.Errorf("SiteCoverage = %v, want 0.5", cov.SiteCoverage)
+	}
+	if cov.EventCoverage != 0.75 { // 3 of 4 events at known sites
+		t.Errorf("EventCoverage = %v, want 0.75", cov.EventCoverage)
+	}
+
+	empty := StaticCoverageOf(nil, nil)
+	if empty.SiteCoverage != 0 || empty.EventCoverage != 0 || empty.DynamicSites != 0 {
+		t.Errorf("empty coverage = %+v", empty)
+	}
+}

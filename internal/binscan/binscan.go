@@ -1,0 +1,241 @@
+// Package binscan statically analyzes guest isa.Program binaries: basic
+// block and control-flow-graph recovery, reachability from the program
+// entry, a complete inventory of floating point instruction sites, and
+// interposed-libc-symbol references split into *present* and *reachable*.
+//
+// It is the static counterpart of the paper's two analyses:
+//
+//   - The Figure 8 source analysis greps 7.5M lines of source for
+//     references to the functions FPSpy interposes on. A grep finds
+//     references in dead branches and cannot tell them from live ones;
+//     binscan reproduces the grep result (presence) and additionally
+//     computes what grep cannot — whether any referencing site is
+//     reachable from the entry point.
+//
+//   - The Section 6 feasibility argument observes that fewer than 100
+//     static addresses cover more than 99% of dynamic rounding events
+//     (Figure 19), so binary-patching the rounding *sites* is practical.
+//     binscan enumerates every such site without running the program,
+//     classifies each by instruction form (the static counterpart of the
+//     Figure 17/19 rank tables), and marks which sites the mitigation
+//     prototype can emulate.
+//
+// The analysis is sound by construction: every instruction that can
+// dynamically raise a floating point event appears in the site
+// inventory, so a dynamic trap address absent from the scan is a bug
+// (Validate checks exactly this against recorded traces).
+package binscan
+
+import (
+	"repro/internal/isa"
+)
+
+// noReturn lists libc symbols that never return to the call site: the
+// instruction after such a call is not a fall-through successor. This is
+// the same modeling real binary analysis applies to exit()-like
+// functions, and it is what makes the "dead code after pthread_exit"
+// pattern in the studied applications statically unreachable.
+var noReturn = map[string]bool{
+	"exit":         true,
+	"pthread_exit": true,
+	"rt_sigreturn": true,
+}
+
+// Block is one recovered basic block: a maximal straight-line run of
+// instructions with a single entry at Start.
+type Block struct {
+	// Start and End delimit the instruction index range [Start, End).
+	Start, End int
+	// Succs lists successor block indices.
+	Succs []int
+	// AddressTaken marks blocks whose start address appears as an
+	// instruction-pointer constant in the program text (function pointers
+	// passed to pthread_create/clone/signal). They are reachability roots:
+	// the kernel can transfer control to them without a static edge.
+	AddressTaken bool
+	// Reachable marks blocks reachable from the entry or from an
+	// address-taken root.
+	Reachable bool
+}
+
+// Len returns the number of instructions in the block.
+func (b *Block) Len() int { return b.End - b.Start }
+
+// CFG is the recovered control flow graph of a program.
+type CFG struct {
+	// Prog is the analyzed program.
+	Prog *isa.Program
+	// Blocks lists basic blocks in address order.
+	Blocks []Block
+	// Edges is the total number of control flow edges.
+	Edges int
+
+	blockOf []int // instruction index -> block index
+}
+
+// BuildCFG recovers basic blocks and control flow edges. Direct branch
+// and call targets come from the instruction encoding; indirect control
+// transfer (signal handlers, thread entry points) is modeled by treating
+// every address-taken block as a root. Address-taken detection is
+// conservative: any movi immediate that decodes to a valid in-text
+// instruction address is treated as taken, which can only add roots —
+// it never loses one — so reachability over-approximates execution.
+func BuildCFG(p *isa.Program) *CFG {
+	n := len(p.Insts)
+	leader := make([]bool, n+1)
+	taken := make([]bool, n)
+	if n > 0 {
+		leader[0] = true
+	}
+	markTarget := func(idx int64) {
+		if idx >= 0 && idx < int64(n) {
+			leader[idx] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		inst := &p.Insts[i]
+		switch inst.Op.Info().Class {
+		case isa.ClassBranch:
+			if inst.Op != isa.OpRET {
+				markTarget(inst.Imm)
+			}
+			leader[i+1] = true
+		case isa.ClassSys:
+			if inst.Op == isa.OpHLT || (inst.Op == isa.OpCALLC && noReturn[inst.Sym]) {
+				leader[i+1] = true
+			}
+		case isa.ClassInt:
+			if inst.Op == isa.OpMOVI {
+				if t := p.IndexOf(uint64(inst.Imm)); t >= 0 {
+					leader[t] = true
+					taken[t] = true
+				}
+			}
+		}
+	}
+
+	cfg := &CFG{Prog: p, blockOf: make([]int, n)}
+	for i := 0; i < n; i++ {
+		if leader[i] {
+			cfg.Blocks = append(cfg.Blocks, Block{Start: i, AddressTaken: taken[i]})
+		}
+		cfg.blockOf[i] = len(cfg.Blocks) - 1
+	}
+	for bi := range cfg.Blocks {
+		if bi+1 < len(cfg.Blocks) {
+			cfg.Blocks[bi].End = cfg.Blocks[bi+1].Start
+		} else {
+			cfg.Blocks[bi].End = n
+		}
+	}
+
+	addSucc := func(bi int, target int) {
+		if target < 0 || target >= n {
+			return // would fault at runtime; no edge
+		}
+		cfg.Blocks[bi].Succs = append(cfg.Blocks[bi].Succs, cfg.blockOf[target])
+	}
+	for bi := range cfg.Blocks {
+		b := &cfg.Blocks[bi]
+		last := &p.Insts[b.End-1]
+		switch last.Op.Info().Class {
+		case isa.ClassBranch:
+			switch last.Op {
+			case isa.OpJMP:
+				addSucc(bi, int(last.Imm))
+			case isa.OpRET:
+				// Return edges are covered by the caller's fall-through
+				// successor (the call-returns assumption).
+			case isa.OpCALL:
+				addSucc(bi, int(last.Imm))
+				addSucc(bi, b.End)
+			default: // conditional branches
+				addSucc(bi, int(last.Imm))
+				addSucc(bi, b.End)
+			}
+		case isa.ClassSys:
+			if last.Op == isa.OpHLT || (last.Op == isa.OpCALLC && noReturn[last.Sym]) {
+				break // terminator
+			}
+			addSucc(bi, b.End)
+		default:
+			addSucc(bi, b.End)
+		}
+		cfg.Edges += len(b.Succs)
+	}
+
+	cfg.markReachable()
+	return cfg
+}
+
+// markReachable floods reachability from the entry block and every
+// address-taken root.
+func (c *CFG) markReachable() {
+	var work []int
+	push := func(bi int) {
+		if !c.Blocks[bi].Reachable {
+			c.Blocks[bi].Reachable = true
+			work = append(work, bi)
+		}
+	}
+	if len(c.Blocks) > 0 {
+		push(0)
+	}
+	for bi := range c.Blocks {
+		if c.Blocks[bi].AddressTaken {
+			push(bi)
+		}
+	}
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range c.Blocks[bi].Succs {
+			push(s)
+		}
+	}
+}
+
+// BlockOf returns the index of the block containing instruction idx, or
+// -1 when idx is out of range.
+func (c *CFG) BlockOf(idx int) int {
+	if idx < 0 || idx >= len(c.blockOf) {
+		return -1
+	}
+	return c.blockOf[idx]
+}
+
+// InstReachable reports whether the instruction at idx lies in a
+// reachable block.
+func (c *CFG) InstReachable(idx int) bool {
+	bi := c.BlockOf(idx)
+	return bi >= 0 && c.Blocks[bi].Reachable
+}
+
+// Stats summarizes a CFG for reporting.
+type Stats struct {
+	// Insts is the program's instruction count.
+	Insts int
+	// Blocks and Edges count recovered blocks and control flow edges.
+	Blocks, Edges int
+	// ReachableBlocks and ReachableInsts count what the reachability
+	// analysis can prove live.
+	ReachableBlocks, ReachableInsts int
+	// Roots counts address-taken blocks (indirect entry points).
+	Roots int
+}
+
+// Stats computes summary statistics.
+func (c *CFG) Stats() Stats {
+	st := Stats{Insts: len(c.Prog.Insts), Blocks: len(c.Blocks), Edges: c.Edges}
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		if b.AddressTaken {
+			st.Roots++
+		}
+		if b.Reachable {
+			st.ReachableBlocks++
+			st.ReachableInsts += b.Len()
+		}
+	}
+	return st
+}

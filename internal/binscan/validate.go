@@ -1,0 +1,103 @@
+package binscan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Validation is the result of replaying a dynamic trace against a static
+// scan. The load-bearing number is Recall: the scan is *sound* exactly
+// when every dynamically observed trap address is a statically
+// discovered site (Recall == 1.0). Precision measures how much of the
+// static prediction the dynamic run exercised — necessarily partial,
+// since static analysis cannot know which paths execute.
+type Validation struct {
+	// Events is the number of trace records replayed.
+	Events int
+	// DynamicSites is the number of distinct trap addresses in the trace.
+	DynamicSites int
+	// MatchedSites counts dynamic sites found in the static inventory.
+	MatchedSites int
+	// Missing lists dynamic trap addresses absent from the inventory —
+	// soundness violations (always empty for a correct scan).
+	Missing []uint64
+	// UnreachableHit lists dynamic trap addresses at sites the
+	// reachability analysis marked unreachable — reachability soundness
+	// violations (always empty, since reachability over-approximates).
+	UnreachableHit []uint64
+	// FormMismatches counts records whose trace instruction word decodes
+	// to a different form than the static site holds (trace corruption or
+	// decoder drift).
+	FormMismatches int
+	// Recall is MatchedSites / DynamicSites; 1.0 means the scan is sound.
+	Recall float64
+	// Precision is DynamicSites-that-matched / reachable static sites:
+	// the fraction of the static prediction this trace confirmed.
+	Precision float64
+}
+
+// Sound reports whether the soundness invariant held: every dynamic trap
+// address is a statically discovered, statically reachable site.
+func (v Validation) Sound() bool {
+	return len(v.Missing) == 0 && len(v.UnreachableHit) == 0
+}
+
+// Validate replays individual-mode trace records against the scan. Each
+// record's rip is looked up in the site inventory, and its captured
+// instruction word is decoded and cross-checked against the static
+// instruction form.
+func (s *Scan) Validate(recs []trace.Record) Validation {
+	v := Validation{Events: len(recs)}
+	seen := make(map[uint64]bool)
+	for i := range recs {
+		rec := &recs[i]
+		if !seen[rec.Rip] {
+			seen[rec.Rip] = true
+			v.DynamicSites++
+			site := s.SiteAt(rec.Rip)
+			switch {
+			case site == nil:
+				v.Missing = append(v.Missing, rec.Rip)
+			case !site.Reachable:
+				v.UnreachableHit = append(v.UnreachableHit, rec.Rip)
+				v.MatchedSites++
+			default:
+				v.MatchedSites++
+			}
+		}
+		var word [isa.InstBytes]byte
+		copy(word[:], rec.InstrWord[:isa.InstBytes])
+		if dec, ok := isa.DecodeWord(word); !ok || dec.Op != isa.Opcode(rec.Opcode) {
+			v.FormMismatches++
+		}
+	}
+	sort.Slice(v.Missing, func(i, j int) bool { return v.Missing[i] < v.Missing[j] })
+	sort.Slice(v.UnreachableHit, func(i, j int) bool { return v.UnreachableHit[i] < v.UnreachableHit[j] })
+	if v.DynamicSites > 0 {
+		v.Recall = float64(v.MatchedSites-len(v.UnreachableHit)) / float64(v.DynamicSites)
+	}
+	if reach := s.reachableSiteCount(); reach > 0 {
+		v.Precision = float64(v.MatchedSites-len(v.UnreachableHit)) / float64(reach)
+	}
+	return v
+}
+
+func (s *Scan) reachableSiteCount() int {
+	n := 0
+	for i := range s.Sites {
+		if s.Sites[i].Reachable {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the validation one-per-line for CLI output.
+func (v Validation) String() string {
+	return fmt.Sprintf("events=%d dynamic-sites=%d matched=%d missing=%d unreachable-hit=%d form-mismatch=%d recall=%.3f precision=%.3f",
+		v.Events, v.DynamicSites, v.MatchedSites, len(v.Missing),
+		len(v.UnreachableHit), v.FormMismatches, v.Recall, v.Precision)
+}

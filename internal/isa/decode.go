@@ -1,0 +1,23 @@
+package isa
+
+// DecodeWord decodes a synthetic 4-byte instruction encoding, the
+// inverse of Program.Encode. The encoding carries the opcode and the
+// four register fields only — immediates, branch targets, and callc
+// symbol names do not fit in the word — so decoding recovers exactly
+// what trace analysis needs (the instruction form and operands), the
+// same information the paper's scripts extract from captured x64
+// instruction bytes. ok is false when the opcode field does not name a
+// registered instruction.
+func DecodeWord(w [InstBytes]byte) (Inst, bool) {
+	op := Opcode(uint16(w[0]) | uint16(w[1])<<8)
+	if int(op) >= NumOpcodes() {
+		return Inst{}, false
+	}
+	return Inst{
+		Op:  op,
+		Rd:  w[2] >> 4,
+		Rs1: w[2] & 0xF,
+		Rs2: w[3] >> 4,
+		Rs3: w[3] & 0xF,
+	}, true
+}

@@ -1,0 +1,49 @@
+package isa
+
+import "testing"
+
+// FuzzEncodeDecodeRoundTrip drives Program.Encode / DecodeWord both
+// ways: any decodable word must re-encode to the identical bytes, and
+// any instruction built from in-range fields must survive an
+// encode/decode round trip of its form and register operands (the
+// fields the encoding carries). binscan's trace validator decodes
+// captured instruction words, so this round trip is load-bearing.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add(byte(0), byte(0), byte(0), byte(0))
+	f.Add(byte(uint16(OpADDSD)), byte(uint16(OpADDSD)>>8), byte(0x12), byte(0x34))
+	f.Add(byte(0xFF), byte(0xFF), byte(0xFF), byte(0xFF))
+
+	f.Fuzz(func(t *testing.T, b0, b1, b2, b3 byte) {
+		word := [InstBytes]byte{b0, b1, b2, b3}
+		inst, ok := DecodeWord(word)
+		if !ok {
+			// Unregistered opcode: the word must really be out of range.
+			if op := uint16(b0) | uint16(b1)<<8; int(op) < NumOpcodes() {
+				t.Fatalf("DecodeWord rejected registered opcode %d", op)
+			}
+			return
+		}
+		if int(inst.Op) >= NumOpcodes() {
+			t.Fatalf("decoded unregistered opcode %d", inst.Op)
+		}
+		if inst.Rd > 0xF || inst.Rs1 > 0xF || inst.Rs2 > 0xF || inst.Rs3 > 0xF {
+			t.Fatalf("decoded out-of-range register in %+v", inst)
+		}
+
+		// Word -> Inst -> word must be the identity.
+		p := &Program{Name: "fuzz", Insts: []Inst{inst}, Base: DefaultCodeBase}
+		if got := p.Encode(0); got != word {
+			t.Fatalf("re-encode mismatch: % x -> %+v -> % x", word, inst, got)
+		}
+
+		// Inst -> word -> Inst preserves the encoded fields.
+		dec, ok := DecodeWord(p.Encode(0))
+		if !ok {
+			t.Fatalf("round-trip decode failed for %+v", inst)
+		}
+		if dec.Op != inst.Op || dec.Rd != inst.Rd || dec.Rs1 != inst.Rs1 ||
+			dec.Rs2 != inst.Rs2 || dec.Rs3 != inst.Rs3 {
+			t.Fatalf("round trip changed instruction:\n in  %+v\n out %+v", inst, dec)
+		}
+	})
+}

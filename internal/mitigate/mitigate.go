@@ -55,6 +55,21 @@ func NewShadowExecutor(m *machine.Machine, prec uint) *ShadowExecutor {
 	return &ShadowExecutor{M: m, Prec: prec, mem: make(map[uint64]*big.Float)}
 }
 
+// ShadowSupported reports whether the shadow executor can re-execute an
+// instruction form at high precision: the scalar binary64 arithmetic and
+// fused multiply-add forms. Packed, single-precision, conversion, and
+// compare forms fall back to the hardware result. Static analysis
+// (internal/binscan) uses this predicate to mark which discovered sites
+// the Section 6 mitigation could patch.
+func ShadowSupported(op isa.Opcode) bool {
+	info := op.Info()
+	switch info.Class {
+	case isa.ClassFPArith, isa.ClassFMA:
+		return info.Prec == isa.F64 && info.Lanes == 1
+	}
+	return false
+}
+
 func (s *ShadowExecutor) newFloat() *big.Float {
 	return new(big.Float).SetPrec(s.Prec)
 }
@@ -111,12 +126,12 @@ func (s *ShadowExecutor) prefetch(inst *isa.Inst) {
 	info := inst.Op.Info()
 	switch info.Class {
 	case isa.ClassFPArith:
-		if info.Prec == isa.F64 && info.Lanes == 1 {
+		if ShadowSupported(inst.Op) {
 			s.shadowReg(inst.Rs1)
 			s.shadowReg(inst.Rs2)
 		}
 	case isa.ClassFMA:
-		if info.Prec == isa.F64 && info.Lanes == 1 {
+		if ShadowSupported(inst.Op) {
 			s.shadowReg(inst.Rs1)
 			s.shadowReg(inst.Rs2)
 			s.shadowReg(inst.Rs3)
@@ -133,7 +148,7 @@ func (s *ShadowExecutor) shadow(inst *isa.Inst) {
 	info := inst.Op.Info()
 	switch info.Class {
 	case isa.ClassFPArith:
-		if info.Prec != isa.F64 || info.Lanes != 1 {
+		if !ShadowSupported(inst.Op) {
 			s.invalidateReg(inst.Rd)
 			return
 		}
@@ -175,7 +190,7 @@ func (s *ShadowExecutor) shadow(inst *isa.Inst) {
 		s.setShadowReg(inst.Rd, z)
 		s.Emulated++
 	case isa.ClassFMA:
-		if info.Prec != isa.F64 || info.Lanes != 1 {
+		if !ShadowSupported(inst.Op) {
 			s.invalidateReg(inst.Rd)
 			return
 		}

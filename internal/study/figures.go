@@ -7,6 +7,7 @@ import (
 
 	fpspy "repro"
 	"repro/internal/analysis"
+	"repro/internal/binscan"
 	"repro/internal/isa"
 	"repro/internal/mitigate"
 	"repro/internal/softfloat"
@@ -264,44 +265,68 @@ var figure8Symbols = []string{
 	"feupdateenv", "SIGTRAP", "SIGFPE",
 }
 
-// Figure8 reproduces the static source analysis matrix.
+// Figure8Cell renders one cell of the Figure 8 matrix from binscan's
+// static view plus the source-macro references binscan cannot see: "T"
+// when the mechanism is reachable in the binary (or is a source macro
+// reference, where grep-level presence is all we have), "t" when it is
+// present only in dead code — the distinction the paper's grep pass
+// cannot make — and "f" when absent.
+func Figure8Cell(present, reachable, sourceRef bool) string {
+	switch {
+	case reachable || sourceRef:
+		return "T"
+	case present:
+		return "t"
+	default:
+		return "f"
+	}
+}
+
+// Figure8 reproduces the static source analysis matrix, computed from
+// the guest binaries by internal/binscan rather than from metadata.
 func (s *Study) Figure8() (*Table, error) {
 	t := &Table{
 		ID:     "Figure 8",
 		Title:  "Source code analysis: mechanisms referenced per code",
 		Header: append([]string{"Code"}, figure8Symbols...),
 		Notes: []string{
-			"static scan of guest binaries (callc sites) plus source macro references; dead branches count, exactly as grep does",
+			"computed by binscan from guest binaries (callc sites + CFG reachability) plus source macro references",
+			"T = reachable reference, t = present only in dead code (grep counts it; reachability analysis proves it dead), f = absent",
 		},
 	}
-	rowFor := func(name string, use map[string]bool, refs []string) []string {
+	rowFor := func(name string, present, reachable map[string]bool, refs []string) []string {
 		refSet := map[string]bool{}
 		for _, r := range refs {
 			refSet[r] = true
 		}
 		cells := []string{name}
 		for _, sym := range figure8Symbols {
-			cells = append(cells, mark(use[sym] || refSet[sym]))
+			cells = append(cells, Figure8Cell(present[sym], reachable[sym], refSet[sym]))
 		}
 		return cells
 	}
 	for _, w := range workload.Apps() {
-		use := workload.StaticLibcUse(w.Build(s.Size))
-		t.Rows = append(t.Rows, rowFor(w.Meta.Name, use, w.Meta.SourceRefs))
+		scan := binscan.ScanProgram(w.Build(s.Size))
+		t.Rows = append(t.Rows, rowFor(w.Meta.Name, scan.PresentLibc(), scan.ReachableLibc(), w.Meta.SourceRefs))
 	}
 	for _, suite := range []struct {
 		name string
 		s    workload.Suite
 	}{{"PARSEC 3.0", workload.SuiteParsec}, {"NAS 3.0", workload.SuiteNAS}} {
-		use := map[string]bool{}
+		present := map[string]bool{}
+		reachable := map[string]bool{}
 		var refs []string
 		for _, w := range workload.BySuite(suite.s) {
-			for sym := range workload.StaticLibcUse(w.Build(s.Size)) {
-				use[sym] = true
+			scan := binscan.ScanProgram(w.Build(s.Size))
+			for sym := range scan.PresentLibc() {
+				present[sym] = true
+			}
+			for sym := range scan.ReachableLibc() {
+				reachable[sym] = true
 			}
 			refs = append(refs, w.Meta.SourceRefs...)
 		}
-		t.Rows = append(t.Rows, rowFor(suite.name, use, refs))
+		t.Rows = append(t.Rows, rowFor(suite.name, present, reachable, refs))
 	}
 	return t, nil
 }

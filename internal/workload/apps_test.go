@@ -1,9 +1,12 @@
 package workload_test
 
 import (
+	"reflect"
 	"testing"
 
 	fpspy "repro"
+	"repro/internal/binscan"
+	"repro/internal/study"
 	"repro/internal/workload"
 )
 
@@ -114,43 +117,92 @@ func TestAppsSmallSizeAlsoRun(t *testing.T) {
 }
 
 func TestStaticAnalysisMatchesFigure8(t *testing.T) {
-	// The paper's Figure 8 source-analysis matrix, restricted to libc
-	// call sites: which functions each application's binary references
-	// (including dead branches).
-	wantRefs := map[string][]string{
-		"miniaero": {},
-		"lammps":   {"clone"},
-		"laghos":   {},
-		"moose":    {"clone", "pthread_create", "sigaction", "feenableexcept", "fedisableexcept"},
-		"wrf":      {"fesetenv"},
-		"enzo":     {"clone"},
-		"gromacs":  {"clone", "pthread_create", "pthread_exit", "sigaction", "feenableexcept", "fedisableexcept"},
+	// The Figure 8 matrix is now *computed* by binscan from the guest
+	// binaries, so the assertions are generated the same way: for each
+	// application, the deprecated StaticLibcUse wrapper, the binscan
+	// presence/reachability census, and the rendered study table must
+	// all agree cell for cell.
+	apps := workload.Apps()
+	scans := make(map[string]*binscan.Scan, len(apps))
+	for _, w := range apps {
+		scans[w.Meta.Name] = binscan.ScanProgram(w.Build(workload.SizeLarge))
 	}
-	for name, want := range wantRefs {
-		w, err := workload.ByName(name)
-		if err != nil {
-			t.Fatal(err)
-		}
+
+	// The deprecated wrapper must delegate to binscan exactly.
+	for _, w := range apps {
 		got := workload.StaticLibcUse(w.Build(workload.SizeLarge))
-		for _, sym := range want {
-			if !got[sym] {
-				t.Errorf("%s: missing static reference to %s", name, sym)
+		want := scans[w.Meta.Name].PresentLibc()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: StaticLibcUse = %v, binscan presence = %v", w.Meta.Name, got, want)
+		}
+	}
+
+	// Reachability can only shrink the presence set.
+	for name, scan := range scans {
+		present, reach := scan.PresentLibc(), scan.ReachableLibc()
+		for sym := range reach {
+			if !present[sym] {
+				t.Errorf("%s: %s reachable but not present", name, sym)
 			}
 		}
-		// No fe* references beyond the expected set (the step-aside
-		// trigger list must match Figure 8).
-		for sym := range got {
-			if len(sym) > 2 && sym[:2] == "fe" {
-				found := false
-				for _, w := range want {
-					if w == sym {
-						found = true
-					}
-				}
-				if !found {
-					t.Errorf("%s: unexpected fe* reference %s", name, sym)
-				}
+	}
+
+	// The rendered Figure 8 rows must match cells generated from the
+	// scans and the source-macro metadata.
+	tab, err := study.New().Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make(map[string][]string)
+	for _, row := range tab.Rows {
+		rows[row[0]] = row[1:]
+	}
+	for _, w := range apps {
+		name := w.Meta.Name
+		row, ok := rows[name]
+		if !ok {
+			t.Fatalf("Figure 8 has no row for %s", name)
+		}
+		scan := scans[name]
+		refSet := map[string]bool{}
+		for _, r := range w.Meta.SourceRefs {
+			refSet[r] = true
+		}
+		present, reach := scan.PresentLibc(), scan.ReachableLibc()
+		for i, sym := range []string(tab.Header[1:]) {
+			want := study.Figure8Cell(present[sym], reach[sym], refSet[sym])
+			if row[i] != want {
+				t.Errorf("%s/%s: table cell %q, binscan says %q", name, sym, row[i], want)
 			}
+		}
+	}
+
+	// Paper anchors that must survive any workload refactoring: WRF's
+	// live fesetenv (the step-aside trigger), and the dead fe*/sigaction
+	// cleanup after pthread_exit in MOOSE and GROMACS that grep counts
+	// but reachability proves dead.
+	if !scans["wrf"].ReachableLibc()["fesetenv"] {
+		t.Error("wrf: fesetenv must be reachable (step-aside trigger)")
+	}
+	for _, name := range []string{"moose", "gromacs"} {
+		scan := scans[name]
+		for _, sym := range []string{"feenableexcept", "fedisableexcept", "sigaction"} {
+			if !scan.PresentLibc()[sym] {
+				t.Errorf("%s: %s should be present in the binary", name, sym)
+			}
+			if scan.ReachableLibc()[sym] {
+				t.Errorf("%s: %s should be dead code only", name, sym)
+			}
+		}
+	}
+	for _, name := range []string{"lammps", "enzo"} {
+		if !scans[name].ReachableLibc()["clone"] {
+			t.Errorf("%s: clone should be reachable", name)
+		}
+	}
+	for _, name := range []string{"miniaero", "laghos"} {
+		if got := scans[name].PresentLibc(); len(got) != 0 {
+			t.Errorf("%s: expected no libc references, got %v", name, got)
 		}
 	}
 }

@@ -21,6 +21,7 @@ package workload
 import (
 	"fmt"
 
+	"repro/internal/binscan"
 	"repro/internal/isa"
 )
 
@@ -128,12 +129,11 @@ func NAS() []*Workload { return BySuite(SuiteNAS) }
 // (Figure 8). It reports symbols referenced anywhere in the binary,
 // including dead branches, which is exactly why the paper distinguishes
 // static presence from dynamic execution.
+//
+// Deprecated: use internal/binscan, which performs the same presence
+// census as part of a full static analysis and additionally reports
+// whether each referencing site is reachable. This function delegates
+// to binscan and is kept for compatibility.
 func StaticLibcUse(p *isa.Program) map[string]bool {
-	out := make(map[string]bool)
-	for i := range p.Insts {
-		if p.Insts[i].Op == isa.OpCALLC {
-			out[p.Insts[i].Sym] = true
-		}
-	}
-	return out
+	return binscan.ScanProgram(p).PresentLibc()
 }
