@@ -59,12 +59,14 @@ func benchTable(b *testing.B, gen func() (*study.Table, error)) *study.Table {
 	return t
 }
 
-// cell reads a table cell by row label and column name.
+// cell reads a table cell by row label and column name. The first
+// matching header wins (Figure 8 has repeated mechanism groups).
 func cell(t *study.Table, row, col string) string {
 	ci := -1
 	for i, h := range t.Header {
 		if h == col {
 			ci = i
+			break
 		}
 	}
 	if ci < 0 {
@@ -410,8 +412,7 @@ func (discard) Write(p []byte) (int, error) { return len(p), nil }
 // point event (fault, record, single-step, restore).
 func BenchmarkSpyCore(b *testing.B) {
 	prog := buildEventProgram(2000)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
+	spy := func() {
 		res, err := fpspy.Run(prog, fpspy.Options{
 			Config: fpspy.Config{Mode: fpspy.ModeIndividual},
 		})
@@ -421,6 +422,45 @@ func BenchmarkSpyCore(b *testing.B) {
 		if res.Store.Recorded == 0 {
 			b.Fatal("no records")
 		}
+	}
+	// Regression gate for the fast-path engine: before per-machine event
+	// scratch and per-task signal scratch, each of the 2000 traced events
+	// heap-allocated its event, siginfo, and mcontext (~12k allocs per
+	// run). The budget leaves room for the store, trace buffer, and
+	// simulation setup, but not for reintroducing per-event allocation.
+	if allocs := testing.AllocsPerRun(1, spy); allocs > 1000 {
+		b.Fatalf("spy core allocates %.0f times per run; per-event allocation has crept back in", allocs)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		spy()
+	}
+}
+
+// BenchmarkStudyFull regenerates the paper's entire evaluation from a
+// cold cache, serially and on the parallel pass scheduler. The two
+// produce byte-identical output (TestParallelStudyMatchesSerial); this
+// measures what the scheduler buys in wall clock on multi-core hosts.
+func BenchmarkStudyFull(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // one worker per CPU
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := study.NewWithWorkers(bc.workers)
+				tables, err := s.All()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(tables) != 15 {
+					b.Fatalf("artifacts = %d, want 15", len(tables))
+				}
+			}
+		})
 	}
 }
 

@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	fpstudy            # everything
+//	fpstudy            # everything, passes parallelized across CPUs
 //	fpstudy -only 9    # a single figure
+//	fpstudy -workers 1 # force fully serial execution
 package main
 
 import (
@@ -20,9 +21,10 @@ import (
 
 func main() {
 	only := flag.String("only", "", "emit a single artifact (6-19 or s6)")
+	workers := flag.Int("workers", 0, "concurrent simulation passes (0 = one per CPU)")
 	flag.Parse()
 
-	s := study.New()
+	s := study.NewWithWorkers(*workers)
 	gens := map[string]func() (*study.Table, error){
 		"6": s.Figure6, "7": s.Figure7, "8": s.Figure8, "9": s.Figure9,
 		"10": s.Figure10, "11": s.Figure11, "12": s.Figure12, "13": s.Figure13,

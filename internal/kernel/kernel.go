@@ -62,6 +62,21 @@ type Task struct {
 
 	// pendingKill marks the task for termination by signal.
 	pendingKill bool
+
+	// sigInfo and mctx are per-task scratch reused across signal
+	// deliveries, keeping the trap hot path (two deliveries per traced FP
+	// event) free of heap allocation. Handlers run synchronously and must
+	// not retain either pointer past their return.
+	sigInfo SigInfo
+	mctx    MContext
+}
+
+// mcontext returns the task's reusable machine-context view.
+func (t *Task) mcontext() *MContext {
+	if t.mctx.Task == nil {
+		t.mctx = MContext{CPU: &t.M.CPU, Task: t}
+	}
+	return &t.mctx
 }
 
 // Process is a group of tasks sharing memory, signal dispositions, an
@@ -99,6 +114,11 @@ type Kernel struct {
 	// Cycles is the global wall clock in cycles (advances with the
 	// longest-running virtual CPU).
 	Cycles uint64
+	// NoFastPath forces the precise per-instruction execution path,
+	// disabling the batched straight-line fast path. Used by equivalence
+	// tests and ablations; the two paths are bit-identical by
+	// construction, so leaving this false is always safe.
+	NoFastPath bool
 
 	nextPID  int
 	nextTID  int
@@ -353,43 +373,126 @@ func (k *Kernel) gcRunq() {
 }
 
 // runTask executes up to n instructions on one task, handling events.
+//
+// Execution alternates between two bit-identical paths. The fast path
+// retires straight runs of non-faulting, non-TF instructions in a single
+// machine call (machine.RunStraight) and accounts their cycles and timer
+// credit in bulk; fastBatch bounds each run so that no timer can expire
+// inside it, and refuses to run at all when TF single-stepping is armed,
+// a kill is pending, or the fast path is disabled. The precise path is
+// the original step-at-a-time loop; every event — FP fault, trap,
+// breakpoint, libc call, halt, machine fault — is accounted there, at
+// the exact step it occurred.
 func (k *Kernel) runTask(t *Task, n uint64) uint64 {
 	var steps uint64
 	for steps < n && t.State == TaskRunnable && !t.Proc.Exited {
-		before := t.UserCycles + t.SysCycles
+		// Reserve one step of quantum for the event that ends the batch,
+		// so a batch plus its eventful step never exceeds the budget.
+		if batch := k.fastBatch(t, n-steps-1); batch > 0 {
+			clean, ev := t.M.RunStraight(batch)
+			if clean > 0 {
+				steps += clean
+				cycles := clean * k.Cost.Instruction
+				t.UserCycles += cycles
+				k.creditTimers(t, clean, cycles)
+			}
+			if ev == nil {
+				continue
+			}
+			steps++
+			k.completeStep(t, ev)
+			continue
+		}
 		ev := t.M.Step()
 		steps++
-		t.UserCycles += k.Cost.Instruction
-		switch e := ev.(type) {
-		case nil:
-		case *machine.FPEvent:
-			t.SysCycles += k.Cost.FPFault
-			k.deliverSignal(t, SIGFPE, &SigInfo{
-				Signo: SIGFPE, Addr: e.Addr, Raised: e.Raised, Unmasked: e.Unmasked,
-			})
-		case *machine.TrapEvent:
-			t.SysCycles += k.Cost.Trap
-			k.deliverSignal(t, SIGTRAP, &SigInfo{Signo: SIGTRAP, Addr: e.Addr})
-		case *machine.BreakpointEvent:
-			t.SysCycles += k.Cost.Trap
-			k.deliverSignal(t, SIGILL, &SigInfo{Signo: SIGILL, Addr: e.Addr})
-		case *machine.CallCEvent:
-			t.SysCycles += k.Cost.Syscall
-			k.dispatchLibc(t, e.Sym)
-		case *machine.HaltEvent:
-			k.ExitTask(t, TaskExited)
-		case *machine.FaultEvent:
-			k.deliverSignal(t, SIGSEGV, &SigInfo{Signo: SIGSEGV, Addr: e.Addr, Reason: e.Reason})
-		}
-		if t.State == TaskRunnable && !t.Proc.Exited {
-			k.tickTimers(t, t.UserCycles+t.SysCycles-before)
-		}
-		if t.pendingKill {
-			t.pendingKill = false
-			k.ExitTask(t, TaskKilled)
-		}
+		k.completeStep(t, ev)
 	}
 	return steps
+}
+
+// completeStep applies the cycle accounting, event handling, timer
+// ticking, and kill check for one executed machine step — the per-step
+// tail shared by the precise path and the eventful step ending a batch.
+func (k *Kernel) completeStep(t *Task, ev machine.Event) {
+	before := t.UserCycles + t.SysCycles
+	t.UserCycles += k.Cost.Instruction
+	switch e := ev.(type) {
+	case nil:
+	case *machine.FPEvent:
+		t.SysCycles += k.Cost.FPFault
+		t.sigInfo = SigInfo{Signo: SIGFPE, Addr: e.Addr, Raised: e.Raised, Unmasked: e.Unmasked}
+		k.deliverSignal(t, SIGFPE, &t.sigInfo)
+	case *machine.TrapEvent:
+		t.SysCycles += k.Cost.Trap
+		t.sigInfo = SigInfo{Signo: SIGTRAP, Addr: e.Addr}
+		k.deliverSignal(t, SIGTRAP, &t.sigInfo)
+	case *machine.BreakpointEvent:
+		t.SysCycles += k.Cost.Trap
+		t.sigInfo = SigInfo{Signo: SIGILL, Addr: e.Addr}
+		k.deliverSignal(t, SIGILL, &t.sigInfo)
+	case *machine.CallCEvent:
+		t.SysCycles += k.Cost.Syscall
+		k.dispatchLibc(t, e.Sym)
+	case *machine.HaltEvent:
+		k.ExitTask(t, TaskExited)
+	case *machine.FaultEvent:
+		t.sigInfo = SigInfo{Signo: SIGSEGV, Addr: e.Addr, Reason: e.Reason}
+		k.deliverSignal(t, SIGSEGV, &t.sigInfo)
+	}
+	if t.State == TaskRunnable && !t.Proc.Exited {
+		k.tickTimers(t, t.UserCycles+t.SysCycles-before)
+	}
+	if t.pendingKill {
+		t.pendingKill = false
+		k.ExitTask(t, TaskKilled)
+	}
+}
+
+// fastBatch returns how many instructions may retire on the fast path
+// before something needs per-instruction precision: zero when the fast
+// path is unavailable (TF armed, kill pending, disabled, no budget),
+// otherwise the largest count guaranteed not to reach a timer expiry.
+// Events other than timer expiry need no bound — they surface from
+// RunStraight and terminate the batch on their own.
+func (k *Kernel) fastBatch(t *Task, budget uint64) uint64 {
+	if k.NoFastPath || budget == 0 || t.M.CPU.TF || t.pendingKill {
+		return 0
+	}
+	batch := budget
+	if tm := &t.timers[TimerVirtual]; tm.armed {
+		// The virtual timer fires on the tick where remaining <= 1, after
+		// decrementing once per retired instruction.
+		if tm.remaining <= 1 {
+			return 0
+		}
+		if lim := tm.remaining - 1; lim < batch {
+			batch = lim
+		}
+	}
+	if tm := &t.timers[TimerReal]; tm.armed {
+		// The real timer fires on the tick where remaining <= cycles; a
+		// clean fast-path step always costs exactly Cost.Instruction.
+		if c := k.Cost.Instruction; c > 0 {
+			if tm.remaining <= c {
+				return 0
+			}
+			if lim := (tm.remaining - 1) / c; lim < batch {
+				batch = lim
+			}
+		}
+	}
+	return batch
+}
+
+// creditTimers advances both timers past a clean batch whose size
+// fastBatch bounded, so neither can have expired inside it.
+func (k *Kernel) creditTimers(t *Task, steps, cycles uint64) {
+	if tm := &t.timers[TimerVirtual]; tm.armed {
+		tm.remaining -= steps
+	}
+	if tm := &t.timers[TimerReal]; tm.armed {
+		tm.remaining -= cycles
+	}
 }
 
 // WallSeconds converts the global cycle clock to seconds at the given

@@ -106,13 +106,14 @@ func (k *Kernel) SetSigAction(p *Process, sig Signal, act *SigAction) *SigAction
 }
 
 // deliverSignal routes a signal to the task, honoring the process
-// disposition table.
+// disposition table. info may point into per-task scratch that is
+// reused by the next delivery; handlers must consume it synchronously.
 func (k *Kernel) deliverSignal(t *Task, sig Signal, info *SigInfo) {
 	act := t.Proc.Handlers[sig]
 	switch {
 	case act != nil && act.Host != nil:
 		t.UserCycles += k.Cost.SignalHandler
-		act.Host(k, t, info, &MContext{CPU: &t.M.CPU, Task: t})
+		act.Host(k, t, info, t.mcontext())
 	case act != nil && act.Guest != 0:
 		t.UserCycles += k.Cost.SignalHandler
 		// Push the interrupted context and enter the guest handler.

@@ -28,12 +28,15 @@ func (t *Task) TimerArmed(kind TimerKind) bool { return t.timers[kind].armed }
 
 // tickTimers advances both timers after one retired instruction that
 // consumed the given number of cycles, delivering expiry signals.
+// (Clean fast-path batches bypass this via Kernel.creditTimers, which
+// fastBatch guarantees cannot cross an expiry.)
 func (k *Kernel) tickTimers(t *Task, cycles uint64) {
 	if tm := &t.timers[TimerVirtual]; tm.armed {
 		if tm.remaining <= 1 {
 			tm.armed = false
 			t.SysCycles += k.Cost.TimerIRQ
-			k.deliverSignal(t, SIGVTALRM, &SigInfo{Signo: SIGVTALRM})
+			t.sigInfo = SigInfo{Signo: SIGVTALRM}
+			k.deliverSignal(t, SIGVTALRM, &t.sigInfo)
 		} else {
 			tm.remaining--
 		}
@@ -42,7 +45,8 @@ func (k *Kernel) tickTimers(t *Task, cycles uint64) {
 		if tm.remaining <= cycles {
 			tm.armed = false
 			t.SysCycles += k.Cost.TimerIRQ
-			k.deliverSignal(t, SIGALRM, &SigInfo{Signo: SIGALRM})
+			t.sigInfo = SigInfo{Signo: SIGALRM}
+			k.deliverSignal(t, SIGALRM, &t.sigInfo)
 		} else {
 			tm.remaining -= cycles
 		}

@@ -39,6 +39,12 @@ type CPU struct {
 }
 
 // Event is the reason Step stopped short of (or beyond) a plain retire.
+//
+// Events returned by Step and RunStraight point into per-machine scratch
+// storage: they are valid only until the machine's next Step or
+// RunStraight call. Callers that need to retain an event across steps
+// must copy the pointed-to struct. (This keeps the trap hot path — one
+// event per traced instruction — free of heap allocation.)
 type Event interface{ isEvent() }
 
 // FPEvent reports an unmasked floating point exception. The faulting
@@ -120,6 +126,24 @@ type Machine struct {
 	// faults before execution. This is the Section 3.8 alternative to
 	// TF single-stepping.
 	Breakpoints map[uint64]bool
+
+	// nextIdx caches the instruction index of CPU.RIP, or -1 when
+	// unknown. It is always validated against RIP before use (AddrOf of
+	// the cached index must equal RIP), so external RIP writes — signal
+	// delivery, handler context edits, sigreturn — are safe without any
+	// invalidation protocol: a stale value simply misses and Step falls
+	// back to Program.IndexOf.
+	nextIdx int
+
+	// Scratch event storage. Step fills one of these and returns its
+	// address instead of heap-allocating a new event per trap; see the
+	// Event type's validity rule.
+	evFP    FPEvent
+	evTrap  TrapEvent
+	evBP    BreakpointEvent
+	evCallC CallCEvent
+	evFault FaultEvent
+	evHalt  HaltEvent
 }
 
 // SetBreakpoint stubs the instruction at addr.
@@ -152,6 +176,17 @@ func New(prog *isa.Program, memSize int) *Machine {
 	return m
 }
 
+// fpEventAt stages an FP fault event in scratch storage.
+func (m *Machine) fpEventAt(addr uint64, idx int, raised, unmasked softfloat.Flags) Event {
+	m.evFP = FPEvent{Addr: addr, Index: idx, Raised: raised, Unmasked: unmasked}
+	return &m.evFP
+}
+
+func (m *Machine) faultEvent(reason string, addr uint64) Event {
+	m.evFault = FaultEvent{Reason: reason, Addr: addr}
+	return &m.evFault
+}
+
 // CloneMemory deep-copies machine memory (used by fork).
 func (m *Machine) CloneMemory() []byte {
 	dup := make([]byte, len(m.Mem))
@@ -159,8 +194,17 @@ func (m *Machine) CloneMemory() []byte {
 	return dup
 }
 
+// inBounds reports whether [addr, addr+n) lies inside memory. The
+// comparison is overflow-safe: addr+n can wrap for addresses near 2^64,
+// so the check subtracts from the memory size instead of adding to the
+// address.
+func (m *Machine) inBounds(addr, n uint64) bool {
+	size := uint64(len(m.Mem))
+	return addr <= size && size-addr >= n
+}
+
 func (m *Machine) load64(addr uint64) (uint64, bool) {
-	if addr+8 > uint64(len(m.Mem)) {
+	if !m.inBounds(addr, 8) {
 		return 0, false
 	}
 	b := m.Mem[addr:]
@@ -169,7 +213,7 @@ func (m *Machine) load64(addr uint64) (uint64, bool) {
 }
 
 func (m *Machine) store64(addr, v uint64) bool {
-	if addr+8 > uint64(len(m.Mem)) {
+	if !m.inBounds(addr, 8) {
 		return false
 	}
 	b := m.Mem[addr:]
@@ -179,7 +223,7 @@ func (m *Machine) store64(addr, v uint64) bool {
 }
 
 func (m *Machine) load32(addr uint64) (uint32, bool) {
-	if addr+4 > uint64(len(m.Mem)) {
+	if !m.inBounds(addr, 4) {
 		return 0, false
 	}
 	b := m.Mem[addr:]
@@ -187,7 +231,7 @@ func (m *Machine) load32(addr uint64) (uint32, bool) {
 }
 
 func (m *Machine) store32(addr uint64, v uint32) bool {
-	if addr+4 > uint64(len(m.Mem)) {
+	if !m.inBounds(addr, 4) {
 		return false
 	}
 	b := m.Mem[addr:]
@@ -222,14 +266,23 @@ func (c *CPU) setLane32(x uint8, i int, v uint32) {
 }
 
 // Step executes one instruction. A nil event means the instruction
-// retired normally (and TF was clear).
+// retired normally (and TF was clear). A non-nil event is valid only
+// until the next Step or RunStraight call (see Event).
 func (m *Machine) Step() Event {
 	if m.Breakpoints != nil && m.Breakpoints[m.CPU.RIP] {
-		return &BreakpointEvent{Addr: m.CPU.RIP}
+		m.evBP = BreakpointEvent{Addr: m.CPU.RIP}
+		return &m.evBP
 	}
-	idx := m.Prog.IndexOf(m.CPU.RIP)
-	if idx < 0 {
-		return &FaultEvent{Reason: fmt.Sprintf("bad rip %#x", m.CPU.RIP), Addr: m.CPU.RIP}
+	// Resolve the instruction index through the cache: straight-line code
+	// and direct branches never pay for IndexOf. The cached value is
+	// trusted only if it maps back to the current RIP.
+	idx := m.nextIdx
+	if idx < 0 || idx >= len(m.Prog.Insts) || m.Prog.Base+uint64(idx)*isa.InstBytes != m.CPU.RIP {
+		idx = m.Prog.IndexOf(m.CPU.RIP)
+		if idx < 0 {
+			return m.faultEvent(fmt.Sprintf("bad rip %#x", m.CPU.RIP), m.CPU.RIP)
+		}
+		m.nextIdx = idx
 	}
 	inst := &m.Prog.Insts[idx]
 	info := inst.Op.Info()
@@ -242,10 +295,11 @@ func (m *Machine) Step() Event {
 		switch inst.Op {
 		case isa.OpNOP:
 		case isa.OpHLT:
-			return &HaltEvent{}
+			return &m.evHalt
 		case isa.OpCALLC:
-			m.retire(next)
-			return &CallCEvent{Sym: inst.Sym}
+			m.retire(next, idx+1)
+			m.evCallC = CallCEvent{Sym: inst.Sym}
+			return &m.evCallC
 		}
 
 	case isa.ClassInt:
@@ -267,7 +321,7 @@ func (m *Machine) Step() Event {
 			v = uint64(int64(a) * int64(b))
 		case isa.OpDIVQ, isa.OpREMQ:
 			if b == 0 {
-				return &FaultEvent{Reason: "integer divide by zero", Addr: addr}
+				return m.faultEvent("integer divide by zero", addr)
 			}
 			if inst.Op == isa.OpDIVQ {
 				v = uint64(int64(a) / int64(b))
@@ -310,7 +364,7 @@ func (m *Machine) Step() Event {
 			// Push the return address on the stack.
 			sp := c.reg(isa.SP) - 8
 			if !m.store64(sp, next) {
-				return &FaultEvent{Reason: fmt.Sprintf("stack overflow at %#x", sp), Addr: addr}
+				return m.faultEvent(fmt.Sprintf("stack overflow at %#x", sp), addr)
 			}
 			c.setReg(isa.SP, sp)
 			taken = true
@@ -318,13 +372,17 @@ func (m *Machine) Step() Event {
 			sp := c.reg(isa.SP)
 			ra, ok := m.load64(sp)
 			if !ok {
-				return &FaultEvent{Reason: fmt.Sprintf("stack underflow at %#x", sp), Addr: addr}
+				return m.faultEvent(fmt.Sprintf("stack underflow at %#x", sp), addr)
 			}
 			c.setReg(isa.SP, sp+8)
-			return m.retireTo(addr, ra)
+			// Indirect target: the next index is unknown until fetch.
+			return m.retireTo(addr, ra, -1)
 		}
 		if taken {
-			return m.retireTo(addr, m.Prog.AddrOf(int(inst.Imm)))
+			// Direct branches carry their target as an instruction index,
+			// so the next fetch needs no IndexOf either.
+			ti := int(inst.Imm)
+			return m.retireTo(addr, m.Prog.AddrOf(ti), ti)
 		}
 
 	case isa.ClassMem:
@@ -399,26 +457,29 @@ func (m *Machine) Step() Event {
 		}
 	}
 
-	return m.retireTo(addr, next)
+	return m.retireTo(addr, next, idx+1)
 }
 
 // retire advances RIP and the retirement counter without checking TF
 // (used before events that must fire with the instruction completed).
-func (m *Machine) retire(next uint64) {
+// idx is the instruction index of the new RIP, or -1 when unknown.
+func (m *Machine) retire(next uint64, idx int) {
 	m.CPU.RIP = next
+	m.nextIdx = idx
 	m.Retired++
 }
 
 // retireTo completes an instruction and delivers a single-step trap when
-// TF is set.
-func (m *Machine) retireTo(addr, next uint64) Event {
-	m.retire(next)
+// TF is set. idx caches the instruction index of next (-1 when unknown).
+func (m *Machine) retireTo(addr, next uint64, idx int) Event {
+	m.retire(next, idx)
 	if m.CPU.TF {
-		return &TrapEvent{Addr: addr, Next: next}
+		m.evTrap = TrapEvent{Addr: addr, Next: next}
+		return &m.evTrap
 	}
 	return nil
 }
 
 func (m *Machine) memFault(addr, ea uint64) Event {
-	return &FaultEvent{Reason: fmt.Sprintf("bad memory access %#x", ea), Addr: addr}
+	return m.faultEvent(fmt.Sprintf("bad memory access %#x", ea), addr)
 }

@@ -43,7 +43,7 @@ func (m *Machine) execFP(inst *isa.Inst, info *isa.OpInfo, idx int, addr uint64)
 	unmasked := c.MXCSR.Unmasked(st.raised)
 	c.MXCSR.SetFlags(st.raised)
 	if unmasked != 0 {
-		return &FPEvent{Addr: addr, Index: idx, Raised: st.raised, Unmasked: unmasked}
+		return m.fpEventAt(addr, idx, st.raised, unmasked)
 	}
 	if st.vecSet {
 		c.X[inst.Rd] = st.vec

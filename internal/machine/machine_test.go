@@ -20,7 +20,9 @@ func run(t *testing.T, m *Machine, limit int) []*FPEvent {
 		case *HaltEvent:
 			return evs
 		case *FPEvent:
-			evs = append(evs, ev)
+			// Events alias per-machine scratch storage; copy to retain.
+			dup := *ev
+			evs = append(evs, &dup)
 			// Mask everything to make forward progress, like a handler
 			// would.
 			m.CPU.MXCSR.Mask(ev.Raised)

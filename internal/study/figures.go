@@ -8,7 +8,6 @@ import (
 	fpspy "repro"
 	"repro/internal/analysis"
 	"repro/internal/binscan"
-	"repro/internal/isa"
 	"repro/internal/mitigate"
 	"repro/internal/softfloat"
 	"repro/internal/trace"
@@ -27,20 +26,6 @@ const (
 	sampleOnUS  = 5
 	sampleOffUS = 100
 )
-
-// Study runs and caches the methodology passes.
-type Study struct {
-	// Size is the problem size for the applications and NAS (Figure 10
-	// additionally runs PARSEC at SizeSmall, as the paper's Section 5.3
-	// problem-size note describes).
-	Size    workload.Size
-	results map[string]*fpspy.Result
-}
-
-// New creates a study at the default (large) size.
-func New() *Study {
-	return &Study{Size: workload.SizeLarge, results: make(map[string]*fpspy.Result)}
-}
 
 // AggregateConfig is the aggregate-mode tracing pass.
 func AggregateConfig() fpspy.Config {
@@ -66,32 +51,6 @@ func SampledConfig() fpspy.Config {
 		Poisson:      true,
 		VirtualTimer: true,
 	}
-}
-
-// run executes one workload under one configuration, cached. The name
-// "miniaero-calibrated" selects the density-calibrated Miniaero build
-// used by the overhead experiment.
-func (s *Study) run(name string, cfg fpspy.Config, noSpy bool, size workload.Size) (*fpspy.Result, error) {
-	key := fmt.Sprintf("%s|%+v|%v|%d", name, cfg, noSpy, size)
-	if r, ok := s.results[key]; ok {
-		return r, nil
-	}
-	var build func(workload.Size) *isa.Program
-	if name == "miniaero-calibrated" {
-		build = workload.BuildMiniaeroCalibrated
-	} else {
-		w, err := workload.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		build = w.Build
-	}
-	res, err := fpspy.Run(build(size), fpspy.Options{Config: cfg, NoSpy: noSpy})
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", name, err)
-	}
-	s.results[key] = res
-	return res, nil
 }
 
 // eventNames orders the event columns as the paper's tables do.
@@ -688,8 +647,11 @@ func sortedKeys(m map[string][]trace.Record) []string {
 	return keys
 }
 
-// All generates every figure and table in order.
+// All generates every figure and table in order. The passes behind them
+// run first, deduplicated, on the study's worker pool; the figures then
+// assemble serially from the warm cache.
 func (s *Study) All() ([]*Table, error) {
+	s.Prewarm()
 	gens := []func() (*Table, error){
 		s.Figure6, s.Figure7, s.Figure8, s.Figure9, s.Figure10, s.Figure11,
 		s.Figure12, s.Figure13, s.Figure14, s.Figure15, s.Figure16,

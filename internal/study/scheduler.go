@@ -1,0 +1,170 @@
+package study
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	fpspy "repro"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// Study runs and caches the methodology passes. Passes are keyed by
+// (workload, config, spy on/off, size) and deduplicated: a result is
+// computed exactly once no matter how many figures ask for it, or how
+// many ask concurrently. Each pass is a hermetic simulation (its own
+// kernel, machine, and seeded sampler), so passes can run in parallel
+// on a bounded worker pool without changing any result — the golden
+// study output is byte-identical at every worker count.
+type Study struct {
+	// Size is the problem size for the applications and NAS (Figure 10
+	// additionally runs PARSEC at SizeSmall, as the paper's Section 5.3
+	// problem-size note describes).
+	Size workload.Size
+
+	// sem bounds the number of passes simulating at once.
+	sem chan struct{}
+
+	mu      sync.Mutex
+	results map[passKey]*passEntry
+}
+
+// passKey identifies one spy pass. fpspy.Config is comparable, so the
+// key is a plain struct — no string formatting on the cache path.
+type passKey struct {
+	name  string
+	cfg   fpspy.Config
+	noSpy bool
+	size  workload.Size
+}
+
+// passEntry is a singleflight cell: the first caller executes the pass;
+// concurrent callers block on the Once and share the result.
+type passEntry struct {
+	once sync.Once
+	res  *fpspy.Result
+	err  error
+}
+
+// New creates a study at the default (large) size with one worker per
+// available CPU.
+func New() *Study {
+	return NewWithWorkers(0)
+}
+
+// NewWithWorkers creates a study whose passes run on at most n
+// concurrent workers; n < 1 selects GOMAXPROCS. NewWithWorkers(1) is
+// the fully serial study.
+func NewWithWorkers(n int) *Study {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Study{
+		Size:    workload.SizeLarge,
+		sem:     make(chan struct{}, n),
+		results: make(map[passKey]*passEntry),
+	}
+}
+
+// Workers reports the worker pool size.
+func (s *Study) Workers() int { return cap(s.sem) }
+
+// entry returns the cache cell for key, creating it under the lock.
+func (s *Study) entry(key passKey) *passEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.results[key]
+	if !ok {
+		e = &passEntry{}
+		s.results[key] = e
+	}
+	return e
+}
+
+// run executes one workload under one configuration, cached and
+// deduplicated. The name "miniaero-calibrated" selects the
+// density-calibrated Miniaero build used by the overhead experiment.
+func (s *Study) run(name string, cfg fpspy.Config, noSpy bool, size workload.Size) (*fpspy.Result, error) {
+	e := s.entry(passKey{name: name, cfg: cfg, noSpy: noSpy, size: size})
+	e.once.Do(func() {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		e.res, e.err = runPass(name, cfg, noSpy, size)
+	})
+	return e.res, e.err
+}
+
+// runPass is the uncached pass body: build the workload, run it under
+// the spy. It touches no Study state, which is what makes concurrent
+// passes safe.
+func runPass(name string, cfg fpspy.Config, noSpy bool, size workload.Size) (*fpspy.Result, error) {
+	var build func(workload.Size) *isa.Program
+	if name == "miniaero-calibrated" {
+		build = workload.BuildMiniaeroCalibrated
+	} else {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		build = w.Build
+	}
+	res, err := fpspy.Run(build(size), fpspy.Options{Config: cfg, NoSpy: noSpy})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return res, nil
+}
+
+// passList enumerates every pass the full study needs, in no particular
+// order (results do not depend on execution order).
+func (s *Study) passList() []passKey {
+	var keys []passKey
+	add := func(name string, cfg fpspy.Config, noSpy bool, size workload.Size) {
+		keys = append(keys, passKey{name: name, cfg: cfg, noSpy: noSpy, size: size})
+	}
+	// Figure 6: the calibrated Miniaero build across configurations.
+	add("miniaero-calibrated", fpspy.Config{}, true, s.Size)
+	add("miniaero-calibrated", AggregateConfig(), false, s.Size)
+	add("miniaero-calibrated", FilteredConfig(), false, s.Size)
+	for _, on := range []uint64{5, 10, 50} {
+		c := SampledConfig()
+		c.SampleOnUS, c.SampleOffUS = on, 100
+		add("miniaero-calibrated", c, false, s.Size)
+	}
+	// Event matrices (Figures 9/11/14) and the record corpus (Figures
+	// 17-19, Section 6): every code under all three tracing passes.
+	for _, w := range workload.Apps() {
+		add(w.Meta.Name, AggregateConfig(), false, s.Size)
+		add(w.Meta.Name, FilteredConfig(), false, s.Size)
+		add(w.Meta.Name, SampledConfig(), false, s.Size)
+		// Figure 15 rates divide by the unencumbered duration.
+		add(w.Meta.Name, fpspy.Config{}, true, s.Size)
+	}
+	for _, w := range append(workload.Parsec(), workload.NAS()...) {
+		add(w.Meta.Name, AggregateConfig(), false, s.Size)
+		add(w.Meta.Name, FilteredConfig(), false, s.Size)
+		add(w.Meta.Name, SampledConfig(), false, s.Size)
+	}
+	// Figure 10: PARSEC at the reduced problem size.
+	for _, w := range workload.Parsec() {
+		add(w.Meta.Name, AggregateConfig(), false, workload.SizeSmall)
+	}
+	return keys
+}
+
+// Prewarm runs every pass the full study needs on the worker pool and
+// blocks until all have finished. Figures generated afterwards assemble
+// from the warm cache without simulating anything. Pass errors are
+// cached and resurface from the figure that needs the failed pass.
+func (s *Study) Prewarm() {
+	var wg sync.WaitGroup
+	for _, key := range s.passList() {
+		wg.Add(1)
+		go func(k passKey) {
+			defer wg.Done()
+			s.run(k.name, k.cfg, k.noSpy, k.size) //nolint:errcheck // cached, rechecked at assembly
+		}(key)
+	}
+	wg.Wait()
+}
