@@ -1,16 +1,19 @@
 // Command fpanalyze runs the paper's trace analyses over binary trace
 // files: rank-popularity by instruction form and by address (with
-// 99%-coverage statistics), and event-rate time series.
+// 99%-coverage statistics), and event-rate time series. With -log it also
+// reports FPSpy's robustness monitor log: degradations, typed abort
+// reasons, and how hard the application fought for FPSpy's signals.
 //
 // Usage:
 //
-//	fpanalyze [-forms] [-addrs] [-rate BIN_US] <file.fpemon>...
+//	fpanalyze [-forms] [-addrs] [-rate BIN_US] [-log FILE.fplog] [<file.fpemon>...]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/study"
@@ -21,10 +24,19 @@ func main() {
 	forms := flag.Bool("forms", true, "rank instruction forms")
 	addrs := flag.Bool("addrs", true, "rank instruction addresses")
 	rateBin := flag.Float64("rate", 0, "emit an events/s time series with this bin size in microseconds")
+	logPath := flag.String("log", "", "also report a robustness monitor log (.fplog)")
 	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: fpanalyze [-forms] [-addrs] [-rate BIN_US] <file.fpemon>...")
+	if flag.NArg() == 0 && *logPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: fpanalyze [-forms] [-addrs] [-rate BIN_US] [-log FILE.fplog] [<file.fpemon>...]")
 		os.Exit(2)
+	}
+
+	if *logPath != "" {
+		reportMonitorLog(*logPath)
+		if flag.NArg() == 0 {
+			return
+		}
+		fmt.Println()
 	}
 
 	var recs []trace.Record
@@ -80,5 +92,45 @@ func main() {
 		for _, p := range pts {
 			fmt.Printf("  %10.2fus %12.0f events/s\n", p.TimeSec*1e6, p.EventsPerSec)
 		}
+	}
+}
+
+// reportMonitorLog summarizes a robustness monitor log: every
+// degradation with its typed reason, plus signal-fight totals.
+func reportMonitorLog(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpanalyze:", err)
+		os.Exit(1)
+	}
+	evs, err := trace.ParseMonitorLog(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fpanalyze: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("monitor log: %d events\n", len(evs))
+	fights := map[string]uint64{}
+	for _, e := range evs {
+		switch e.Kind {
+		case trace.EventAbort:
+			fmt.Printf("  pid %d: aborted (%s -> %s) at t=%d: reason=%s\n",
+				e.PID, e.From, e.To, e.Time, e.Reason)
+		case trace.EventDemote:
+			fmt.Printf("  pid %d: demoted (%s -> %s) at t=%d: reason=%s\n",
+				e.PID, e.From, e.To, e.Time, e.Reason)
+		case trace.EventReassert:
+			fmt.Printf("  pid %d tid %d: re-asserted masks at t=%d (%s)\n",
+				e.PID, e.TID, e.Time, e.Reason)
+		case trace.EventSignalFight:
+			fights[e.Signal]++
+		}
+	}
+	sigs := make([]string, 0, len(fights))
+	for sig := range fights {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		fmt.Printf("  app fought for %s %d times (absorbed)\n", sig, fights[sig])
 	}
 }

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestReportMonitorLog checks the -log report end to end: a rendered
+// monitor log on disk comes back as human-readable degradation lines,
+// including the signal-fight tally.
+func TestReportMonitorLog(t *testing.T) {
+	evs := []trace.MonitorEvent{
+		{Time: 10, PID: 1, TID: 1, Kind: trace.EventSignalFight, Signal: "SIGFPE", Count: 1},
+		{Time: 20, PID: 1, TID: 1, Kind: trace.EventSignalFight, Signal: "SIGFPE", Count: 2},
+		{Time: 25, PID: 1, TID: 1, Kind: trace.EventReassert, Signal: "SIGFPE", Reason: "mxcsr-stomp"},
+		{Time: 30, PID: 1, Kind: trace.EventAbort, From: "individual", To: "detached", Reason: "fe-access"},
+		{Time: 40, PID: 2, Kind: trace.EventDemote, From: "individual", To: "aggregate", Reason: "trap-storm"},
+	}
+	path := filepath.Join(t.TempDir(), "monitor.fplog")
+	if err := os.WriteFile(path, []byte(trace.RenderMonitorLog(evs)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	reportMonitorLog(path)
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, want := range []string{
+		"monitor log: 5 events",
+		"app fought for SIGFPE 2 times (absorbed)",
+		"reason=fe-access",
+		"reason=trap-storm",
+		"re-asserted masks",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 //	FPE_SAMPLE=N | on:off          1-in-N or temporal sampling (us)
 //	FPE_POISSON=yes                exponential on/off periods
 //	FPE_TIMER=virtual|real         sampler time base
+//	FPE_STORM=N:C                  trap-storm watchdog (N faults / C cycles)
 //
 // Usage:
 //
@@ -83,7 +84,8 @@ func main() {
 	// paper's Figure 2.
 	env := map[string]string{}
 	for _, key := range []string{"FPE_MODE", "FPE_AGGRESSIVE", "FPE_DISABLE",
-		"FPE_EXCEPT_LIST", "FPE_MAXCOUNT", "FPE_SAMPLE", "FPE_POISSON", "FPE_TIMER"} {
+		"FPE_EXCEPT_LIST", "FPE_MAXCOUNT", "FPE_SAMPLE", "FPE_POISSON", "FPE_TIMER",
+		"FPE_STORM"} {
 		if v, ok := os.LookupEnv(key); ok {
 			env[key] = v
 		}
@@ -120,13 +122,17 @@ func main() {
 	if res.Store.StepAsides > 0 {
 		fmt.Printf("  FPSpy got out of the way in %d process(es)\n", res.Store.StepAsides)
 	}
+	if res.TraceErr != nil {
+		fmt.Fprintln(os.Stderr, "fpspy: trace flush:", res.TraceErr)
+	}
 
 	if *outDir != "" {
 		writeTraces(res.Store, *outDir)
 	}
 }
 
-// writeTraces dumps every per-thread binary trace to dir.
+// writeTraces dumps every per-thread binary trace to dir, plus the
+// robustness monitor log when it is non-empty.
 func writeTraces(store *core.Store, dir string) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, "fpspy:", err)
@@ -144,6 +150,14 @@ func writeTraces(store *core.Store, dir string) {
 			os.Exit(1)
 		}
 		fmt.Printf("  wrote %s (%d records)\n", path, len(raw)/64)
+	}
+	if log := store.MonitorLog(); log != "" {
+		path := filepath.Join(dir, "monitor.fplog")
+		if err := os.WriteFile(path, []byte(log), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "fpspy:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  wrote %s (%d events)\n", path, len(store.MonitorEvents()))
 	}
 }
 

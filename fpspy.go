@@ -26,7 +26,9 @@
 package fpspy
 
 import (
+	"errors"
 	"fmt"
+	"io"
 
 	"repro/internal/adaptive"
 	"repro/internal/core"
@@ -57,7 +59,22 @@ type (
 	Store = core.Store
 	// ThreadKey identifies one traced thread.
 	ThreadKey = core.ThreadKey
+	// MonitorEvent is one entry of FPSpy's robustness monitor log.
+	MonitorEvent = trace.MonitorEvent
+	// DegradeState is FPSpy's degradation level.
+	DegradeState = core.DegradeState
+	// AbortReason types why FPSpy degraded.
+	AbortReason = core.AbortReason
 )
+
+// NewStore creates an empty trace store for Options.Store.
+func NewStore() *Store { return core.NewStore() }
+
+// NewStoreWithSink creates a store whose per-thread trace bytes go to
+// writers produced by sink (e.g. to model failing trace files).
+func NewStoreWithSink(sink func(ThreadKey) io.Writer) *Store {
+	return core.NewStoreWithSink(sink)
+}
 
 // Re-exported mode and flag constants.
 const (
@@ -71,6 +88,19 @@ const (
 	FlagUnderflow    = softfloat.FlagUnderflow
 	FlagInexact      = softfloat.FlagInexact
 	AllEvents        = core.AllEvents
+)
+
+// Re-exported degradation states and typed abort reasons.
+const (
+	StateIndividual = core.StateIndividual
+	StateAggregate  = core.StateAggregate
+	StateDetached   = core.StateDetached
+
+	AbortSignalConflict = core.AbortSignalConflict
+	AbortFEAccess       = core.AbortFEAccess
+	AbortMXCSRStomp     = core.AbortMXCSRStomp
+	AbortForeignTrap    = core.AbortForeignTrap
+	AbortTrapStorm      = core.AbortTrapStorm
 )
 
 // NewProgram returns a builder for a guest program.
@@ -91,6 +121,10 @@ type Options struct {
 	Env map[string]string
 	// CostModel overrides the kernel cycle cost model.
 	CostModel *kernel.CostModel
+	// Store, when non-nil, receives the traces instead of a fresh
+	// in-memory store (e.g. one built with NewStoreWithSink to model
+	// failing trace files).
+	Store *Store
 }
 
 // Result is the outcome of running a program under (or without) FPSpy.
@@ -110,6 +144,9 @@ type Result struct {
 	Kern *kernel.Kernel
 	// Proc is the initial process.
 	Proc *kernel.Process
+	// TraceErr aggregates trace flush failures observed at thread
+	// teardown; nil when every trace reached its destination.
+	TraceErr error
 }
 
 // Run executes prog to completion under the simulated kernel, with FPSpy
@@ -125,7 +162,10 @@ func Run(prog *Program, opts Options) (*Result, error) {
 	if opts.CostModel != nil {
 		k.Cost = *opts.CostModel
 	}
-	store := core.NewStore()
+	store := opts.Store
+	if store == nil {
+		store = core.NewStore()
+	}
 	env := map[string]string{}
 	for key, v := range opts.Env {
 		env[key] = v
@@ -154,6 +194,7 @@ func Run(prog *Program, opts Options) (*Result, error) {
 		ExitCode:   p.ExitCode,
 		Kern:       k,
 		Proc:       p,
+		TraceErr:   errors.Join(store.FlushErrs()...),
 	}, nil
 }
 

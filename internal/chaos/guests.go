@@ -1,0 +1,364 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/softfloat"
+	"repro/internal/trace"
+)
+
+// Guest programs write progress markers into low guest memory so the
+// differential check can confirm — bit-for-bit — that the application
+// got exactly as far with the spy attached as without it.
+const (
+	markBase   = 0x200 // single-threaded scenario markers
+	workerBase = 0x8000
+	workerSpan = 0x40 // disjoint per-worker output regions
+)
+
+// loadF64 materializes a float64 constant into vector register x,
+// clobbering the scratch integer register.
+func loadF64(b *isa.Builder, x int, v float64, scratch int) {
+	b.Movi(scratch, int64(math.Float64bits(v)))
+	b.Movqx(x, scratch)
+}
+
+// divStorm emits n back-to-back divsd X2, X0, X1 instructions — each
+// raises at least the inexact condition for operands like 1.0/3.0, so
+// under an individual-mode spy every one is a SIGFPE/SIGTRAP round
+// trip.
+func divStorm(b *isa.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.FP2(isa.OpDIVSD, isa.X2, isa.X0, isa.X1)
+	}
+}
+
+// storeMark writes value at markBase+8*slot.
+func storeMark(b *isa.Builder, slot int, value int64) {
+	b.Movi(isa.R5, int64(markBase+8*slot))
+	b.Movi(isa.R6, value)
+	b.St(isa.R5, 0, isa.R6)
+}
+
+func individualConfig() core.Config {
+	return core.Config{Mode: core.ModeIndividual}
+}
+
+// genSignalStealer: the guest takes a few faults, then installs a
+// handler for one of FPSpy's own signals mid-storm, then keeps
+// faulting. A normal spy must step aside (signal-conflict); an
+// aggressive spy absorbs the registration and logs the fight. Either
+// way the handler never runs: with the spy gone (or spy-off) every
+// exception is masked, and an aggressive spy hides the faults itself.
+func genSignalStealer(sc *Scenario, rng *rand.Rand) {
+	aggressive := rng.Intn(2) == 1
+	sig := kernel.SIGFPE
+	if rng.Intn(2) == 1 {
+		sig = kernel.SIGTRAP
+	}
+	nFirst, nAfter := 1+rng.Intn(4), 1+rng.Intn(4)
+
+	b := isa.NewBuilder(fmt.Sprintf("chaos-%s-%d", sc.Family, sc.Seed))
+	handler := b.Label("handler")
+	loadF64(b, isa.X0, 1, isa.R10)
+	loadF64(b, isa.X1, 3, isa.R10)
+	divStorm(b, nFirst)
+	b.Movi(isa.R1, int64(sig))
+	b.Lea(isa.R2, handler)
+	b.CallC("signal")
+	b.Mov(isa.R9, isa.R1) // previous-handler encoding: must match spy-off
+	divStorm(b, nAfter)
+	storeMark(b, 0, 1)
+	b.Hlt()
+	b.Bind(handler)
+	b.CallC("rt_sigreturn")
+
+	sc.Prog = b.Build()
+	cfg := individualConfig()
+	cfg.Aggressive = aggressive
+	sc.Config = cfg
+	if aggressive {
+		sc.Name = "signal-stealer-aggressive"
+		sc.ExpectKind = trace.EventSignalFight
+	} else {
+		sc.Name = "signal-stealer"
+		sc.ExpectKind = trace.EventAbort
+		sc.ExpectReason = core.AbortSignalConflict
+	}
+}
+
+// genFEMeddler: the guest calls fesetround between exception bursts.
+// The spy must abort (fe-access) before letting the call through, so
+// the new rounding mode shapes later results identically spy-on and
+// spy-off.
+func genFEMeddler(sc *Scenario, rng *rand.Rand) {
+	modes := []softfloat.RoundingMode{
+		softfloat.RoundDown, softfloat.RoundUp, softfloat.RoundToZero,
+	}
+	mode := modes[rng.Intn(len(modes))]
+	nFirst, nAfter := 1+rng.Intn(4), 1+rng.Intn(4)
+
+	b := isa.NewBuilder(fmt.Sprintf("chaos-%s-%d", sc.Family, sc.Seed))
+	loadF64(b, isa.X0, 1, isa.R10)
+	loadF64(b, isa.X1, 3, isa.R10)
+	divStorm(b, nFirst)
+	b.Movi(isa.R1, int64(mode))
+	b.CallC("fesetround")
+	divStorm(b, nAfter) // rounds per the guest's mode on both sides
+	b.Movi(isa.R5, markBase)
+	b.Fst(isa.R5, 0, isa.X2) // the rounded quotient is part of the diff
+	b.Hlt()
+
+	sc.Prog = b.Build()
+	sc.Name = "fe-meddler"
+	sc.Config = individualConfig()
+	sc.ExpectKind = trace.EventAbort
+	sc.ExpectReason = core.AbortFEAccess
+}
+
+// genMXCSRStomper: the guest rewrites MXCSR with ldmxcsr — the direct
+// channel no libc interposition can see. Two sub-variants:
+//
+//   - mask-all (0x1F80): the stomp silences every exception, so the spy
+//     only notices at thread teardown (the late integrity check).
+//   - unmask-ZE (0x1D80): the next divide-by-zero faults; the per-fault
+//     integrity recheck catches the stomp, and the spy must step aside
+//     WITHOUT repairing the stomping thread's MXCSR, so the guest dies
+//     on its deliberately-unmasked exception exactly as it would bare.
+func genMXCSRStomper(sc *Scenario, rng *rand.Rand) {
+	unmaskZE := rng.Intn(2) == 1
+	nFirst := 1 + rng.Intn(4)
+
+	b := isa.NewBuilder(fmt.Sprintf("chaos-%s-%d", sc.Family, sc.Seed))
+	stomp := uint64(0x1F80)
+	if unmaskZE {
+		stomp = uint64(0x1F80 &^ (uint32(softfloat.FlagDivideByZero) << 7))
+	}
+	val := b.Words(stomp)
+	loadF64(b, isa.X0, 1, isa.R10)
+	loadF64(b, isa.X1, 3, isa.R10)
+	divStorm(b, nFirst)
+	b.Movi(isa.R9, int64(val))
+	b.Ldmxcsr(isa.R9, 0)
+	if unmaskZE {
+		b.Movqx(isa.X1, isa.R0) // +0.0 divisor
+		b.FP2(isa.OpDIVSD, isa.X2, isa.X0, isa.X1)
+		// Unreachable: the unmasked ZE kills the process (exit 136)
+		// with and without the spy.
+		storeMark(b, 0, 99)
+	} else {
+		divStorm(b, 1+rng.Intn(4))
+		storeMark(b, 0, 1)
+	}
+	b.Hlt()
+
+	sc.Prog = b.Build()
+	sc.Name = "mxcsr-stomper-mask"
+	if unmaskZE {
+		sc.Name = "mxcsr-stomper-unmask-ze"
+	}
+	sc.Config = individualConfig()
+	sc.ExpectKind = trace.EventAbort
+	sc.ExpectReason = core.AbortMXCSRStomp
+}
+
+// genThreadStorm: worker threads fault concurrently while the main
+// thread faults between pthread_create calls, under adversarial
+// scheduling. Workers write to disjoint memory regions so the final
+// image is interleaving-independent; the spy must degrade nothing.
+func genThreadStorm(sc *Scenario, rng *rand.Rand) {
+	workers := 2 + rng.Intn(2)
+	perWorker := 2 + rng.Intn(3)
+
+	b := isa.NewBuilder(fmt.Sprintf("chaos-%s-%d", sc.Family, sc.Seed))
+	worker := b.Label("worker")
+	loadF64(b, isa.X0, 1, isa.R10)
+	loadF64(b, isa.X1, 3, isa.R10)
+	for i := 0; i < workers; i++ {
+		b.Lea(isa.R1, worker)
+		b.Movi(isa.R2, int64(i))
+		b.CallC("pthread_create")
+		b.Mov(isa.R11+i, isa.R1) // remember tid for join
+		divStorm(b, 1)           // fault during the creation storm
+	}
+	for i := 0; i < workers; i++ {
+		b.Mov(isa.R1, isa.R11+i)
+		b.CallC("pthread_join")
+	}
+	storeMark(b, 0, 1)
+	b.Hlt()
+
+	b.Bind(worker)
+	// R1 = worker index. Output region: workerBase + index*workerSpan.
+	b.Shli(isa.R3, isa.R1, 6)
+	b.Movi(isa.R4, workerBase)
+	b.Add(isa.R3, isa.R3, isa.R4)
+	loadF64(b, isa.X0, 1, isa.R10)
+	loadF64(b, isa.X1, 3, isa.R10)
+	divStorm(b, perWorker)
+	b.Fst(isa.R3, 0, isa.X2) // quotient
+	b.Movi(isa.R6, 40)
+	b.Add(isa.R6, isa.R6, isa.R1)
+	b.St(isa.R3, 8, isa.R6) // 40+index: proves this worker finished
+	b.CallC("pthread_exit")
+
+	sc.Prog = b.Build()
+	sc.Name = "thread-storm"
+	sc.Config = individualConfig()
+	sc.Inject = &InjectSpec{Seed: sc.Seed * 7 * int64(len(sc.Name)), Shuffle: true, QuantumJitter: true}
+}
+
+// genForkBurst: the guest forks in the middle of an exception storm.
+// The child storms on and exits with its own code; the parent keeps
+// faulting. Exit codes and both memory images must match spy-off.
+func genForkBurst(sc *Scenario, rng *rand.Rand) {
+	nBefore, nChild, nAfter := 1+rng.Intn(3), 1+rng.Intn(4), 1+rng.Intn(3)
+	childCode := int64(10 + rng.Intn(40))
+	parentCode := int64(50 + rng.Intn(40))
+
+	b := isa.NewBuilder(fmt.Sprintf("chaos-%s-%d", sc.Family, sc.Seed))
+	child := b.Label("child")
+	loadF64(b, isa.X0, 1, isa.R10)
+	loadF64(b, isa.X1, 3, isa.R10)
+	divStorm(b, nBefore)
+	b.CallC("fork")
+	b.Beq(isa.R1, isa.R0, child)
+	// Parent.
+	divStorm(b, nAfter)
+	storeMark(b, 0, 2)
+	b.Movi(isa.R1, parentCode)
+	b.CallC("exit")
+	// Child: its memory is a private copy, so the marker written here
+	// exists only in the child image.
+	b.Bind(child)
+	divStorm(b, nChild)
+	storeMark(b, 1, 3)
+	b.Movi(isa.R1, childCode)
+	b.CallC("exit")
+
+	sc.Prog = b.Build()
+	sc.Name = "fork-burst"
+	sc.Config = individualConfig()
+}
+
+// genHandlerExit: the guest takes SIGFPE for itself, unmasks divide-by-
+// zero through feenableexcept, divides by zero, and exits from INSIDE
+// the signal handler. Whichever of signal()/feenableexcept() runs first
+// determines the abort reason; after the abort, the guest's handler and
+// unmask must work exactly as they do spy-off.
+func genHandlerExit(sc *Scenario, rng *rand.Rand) {
+	signalFirst := rng.Intn(2) == 1
+	exitCode := int64(1 + rng.Intn(100))
+
+	b := isa.NewBuilder(fmt.Sprintf("chaos-%s-%d", sc.Family, sc.Seed))
+	handler := b.Label("handler")
+	loadF64(b, isa.X0, 1, isa.R10)
+	loadF64(b, isa.X1, 3, isa.R10)
+	divStorm(b, 1+rng.Intn(3))
+	install := func() {
+		b.Movi(isa.R1, int64(kernel.SIGFPE))
+		b.Lea(isa.R2, handler)
+		b.CallC("signal")
+	}
+	unmask := func() {
+		b.Movi(isa.R1, int64(softfloat.FlagDivideByZero))
+		b.CallC("feenableexcept")
+	}
+	if signalFirst {
+		install()
+		unmask()
+	} else {
+		unmask()
+		install()
+	}
+	b.Movqx(isa.X1, isa.R0) // +0.0
+	b.FP2(isa.OpDIVSD, isa.X2, isa.X0, isa.X1)
+	b.Hlt() // unreachable: the handler exits
+	b.Bind(handler)
+	storeMark(b, 0, 9)
+	b.Movi(isa.R1, exitCode)
+	b.CallC("exit")
+
+	sc.Prog = b.Build()
+	sc.Config = individualConfig()
+	sc.ExpectKind = trace.EventAbort
+	if signalFirst {
+		sc.Name = "handler-exit-signal-first"
+		sc.ExpectReason = core.AbortSignalConflict
+	} else {
+		sc.Name = "handler-exit-fe-first"
+		sc.ExpectReason = core.AbortFEAccess
+	}
+}
+
+// genKernelChaos: a temporal-sampling (Poisson, virtual-timer) spy over
+// a long fault loop, with the kernel delaying the sampler's signals and
+// jittering the schedule. Nothing here is adversarial from the guest's
+// side — the spy must ride out the perturbations without degrading.
+func genKernelChaos(sc *Scenario, rng *rand.Rand) {
+	iters := int64(20 + rng.Intn(30))
+
+	b := isa.NewBuilder(fmt.Sprintf("chaos-%s-%d", sc.Family, sc.Seed))
+	loadF64(b, isa.X0, 1, isa.R10)
+	loadF64(b, isa.X1, 3, isa.R10)
+	b.Movi(isa.R8, 0)
+	b.Movi(isa.R9, iters)
+	loop := b.Label("loop")
+	b.Bind(loop)
+	b.FP2(isa.OpDIVSD, isa.X2, isa.X0, isa.X1)
+	b.Addi(isa.R8, isa.R8, 1)
+	b.Blt(isa.R8, isa.R9, loop)
+	storeMark(b, 0, 1)
+	b.Hlt()
+
+	sc.Prog = b.Build()
+	sc.Name = "kernel-chaos"
+	cfg := individualConfig()
+	cfg.SampleOnUS = 2 + uint64(rng.Intn(5))
+	cfg.SampleOffUS = 5 + uint64(rng.Intn(10))
+	cfg.Poisson = true
+	cfg.VirtualTimer = true
+	sc.Config = cfg
+	sc.Inject = &InjectSpec{
+		Seed:          sc.Seed*31 + 5,
+		DelayMax:      1 + uint64(rng.Intn(40)),
+		Shuffle:       true,
+		QuantumJitter: true,
+	}
+}
+
+// genTrapStorm: the guest's fault rate trips the FPE_STORM watchdog,
+// which must demote the spy to aggregate mode — handlers released,
+// exceptions re-masked, sticky flags accumulating — without disturbing
+// the guest.
+func genTrapStorm(sc *Scenario, rng *rand.Rand) {
+	threshold := uint64(3 + rng.Intn(3))
+	iters := int64(threshold)*2 + 10
+
+	b := isa.NewBuilder(fmt.Sprintf("chaos-%s-%d", sc.Family, sc.Seed))
+	loadF64(b, isa.X0, 1, isa.R10)
+	loadF64(b, isa.X1, 3, isa.R10)
+	b.Movi(isa.R8, 0)
+	b.Movi(isa.R9, iters)
+	loop := b.Label("loop")
+	b.Bind(loop)
+	b.FP2(isa.OpDIVSD, isa.X2, isa.X0, isa.X1)
+	b.Addi(isa.R8, isa.R8, 1)
+	b.Blt(isa.R8, isa.R9, loop)
+	storeMark(b, 0, 1)
+	b.Hlt()
+
+	sc.Prog = b.Build()
+	sc.Name = "trap-storm"
+	cfg := individualConfig()
+	cfg.StormFaults = threshold
+	cfg.StormCycles = 100_000_000 // window never resets within the run
+	sc.Config = cfg
+	sc.ExpectKind = trace.EventDemote
+	sc.ExpectReason = core.AbortTrapStorm
+}

@@ -16,6 +16,8 @@
 //	FPE_POISSON      "yes": draw on/off periods from an exponential
 //	                 distribution (PASTA sampling)
 //	FPE_TIMER        "real" or "virtual" time for temporal sampling
+//	FPE_STORM        "N:C" trap-storm watchdog: demote to aggregate mode
+//	                 when a thread takes N faults within C cycles
 package core
 
 import (
@@ -79,6 +81,10 @@ type Config struct {
 	// extension beyond the paper's implementation, which describes the
 	// approach for architectures without a convenient trap flag.)
 	Breakpoints bool
+	// StormFaults/StormCycles, when nonzero, arm the trap-storm watchdog:
+	// a thread taking StormFaults SIGFPEs within a StormCycles window
+	// demotes the whole process to aggregate mode.
+	StormFaults, StormCycles uint64
 }
 
 // eventNames maps FPE_EXCEPT_LIST tokens to condition flags.
@@ -135,6 +141,19 @@ func ParseConfig(env map[string]string) (Config, error) {
 			return cfg, fmt.Errorf("fpspy: bad FPE_MAXCOUNT %q", v)
 		}
 		cfg.MaxCount = n
+	}
+	if v := env["FPE_STORM"]; v != "" {
+		faults, cycles, ok := strings.Cut(v, ":")
+		n, err1 := strconv.ParseUint(faults, 10, 64)
+		var c uint64
+		var err2 error
+		if ok {
+			c, err2 = strconv.ParseUint(cycles, 10, 64)
+		}
+		if !ok || err1 != nil || err2 != nil || n == 0 || c == 0 {
+			return cfg, fmt.Errorf("fpspy: bad FPE_STORM %q (want faults:cycles)", v)
+		}
+		cfg.StormFaults, cfg.StormCycles = n, c
 	}
 	if v := env["FPE_SAMPLE"]; v != "" {
 		if on, off, ok := strings.Cut(v, ":"); ok {
@@ -200,6 +219,9 @@ func (c Config) EnvVars() map[string]string {
 	}
 	if c.MaxCount > 0 {
 		env["FPE_MAXCOUNT"] = strconv.FormatUint(c.MaxCount, 10)
+	}
+	if c.StormFaults > 0 && c.StormCycles > 0 {
+		env["FPE_STORM"] = fmt.Sprintf("%d:%d", c.StormFaults, c.StormCycles)
 	}
 	switch {
 	case c.SampleOnUS > 0:

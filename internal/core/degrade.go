@@ -1,0 +1,63 @@
+package core
+
+// This file defines FPSpy's graceful-degradation state machine. The real
+// tool collapses all of this into a single "disabled" flag; modelling it
+// as explicit states lets the robustness harness (internal/chaos) assert
+// exactly how far FPSpy backed off and why, and lets analysis tooling
+// distinguish "stepped aside for the app" from "demoted itself to keep
+// overhead bounded".
+
+// DegradeState is FPSpy's per-process degradation level. Transitions only
+// move rightwards: Individual -> Aggregate -> Detached. Aggregate-mode
+// configurations start (and stay) at StateAggregate; the inert flag
+// (FPE_DISABLE / config error) is a separate, earlier decision — an inert
+// spy never entered the machine at all.
+type DegradeState uint8
+
+const (
+	// StateIndividual: the full trap-and-single-step protocol is armed.
+	StateIndividual DegradeState = iota
+	// StateAggregate: FPSpy has released its signals, timers, and mask
+	// manipulation but still reads the sticky condition codes at thread
+	// exit — the trap-storm watchdog lands here.
+	StateAggregate
+	// StateDetached: FPSpy has fully stepped aside; nothing is observed
+	// beyond what was captured before the abort.
+	StateDetached
+)
+
+// String names the state as it appears in the monitor log.
+func (s DegradeState) String() string {
+	switch s {
+	case StateIndividual:
+		return "individual"
+	case StateAggregate:
+		return "aggregate"
+	case StateDetached:
+		return "detached"
+	}
+	return "?"
+}
+
+// AbortReason types the cause of a degradation, recorded with the
+// transition in the monitor log and on aggregate records.
+type AbortReason string
+
+const (
+	// AbortSignalConflict: the application installed a handler for a
+	// signal FPSpy owns (SIGFPE/SIGTRAP/SIGILL/the sampler alarm).
+	AbortSignalConflict AbortReason = "signal-conflict"
+	// AbortFEAccess: the application called into the fe* floating point
+	// environment family.
+	AbortFEAccess AbortReason = "fe-access"
+	// AbortMXCSRStomp: the application rewrote MXCSR directly (ldmxcsr),
+	// bypassing the fe* interposition layer.
+	AbortMXCSRStomp AbortReason = "mxcsr-stomp"
+	// AbortForeignTrap: a single-step trap arrived that FPSpy did not arm
+	// (a debugger or the application is also single-stepping).
+	AbortForeignTrap AbortReason = "foreign-trap"
+	// AbortTrapStorm: the fault rate exceeded the FPE_STORM watchdog
+	// threshold; FPSpy demoted itself to aggregate mode to bound
+	// overhead rather than detaching.
+	AbortTrapStorm AbortReason = "trap-storm"
+)

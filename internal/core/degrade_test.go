@@ -1,0 +1,44 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPeriodVirtualTimerScalesByInstructionCost pins the fix for the
+// virtual-timer branch of period(): virtual time advances in retired
+// instructions, so the microsecond budget must be converted through the
+// cost model's cycles-per-instruction. Before the fix the branch
+// computed the same cycle count as the real timer, making virtual
+// periods instCost times too long under non-unit cost models.
+func TestPeriodVirtualTimerScalesByInstructionCost(t *testing.T) {
+	s := &Spy{cfg: Config{VirtualTimer: true}, instCost: 3}
+	ts := &threadState{}
+	if got, want := s.period(ts, 10), uint64(10*CyclesPerMicrosecond/3); got != want {
+		t.Errorf("virtual period at 3 cycles/inst = %d, want %d", got, want)
+	}
+	s.cfg.VirtualTimer = false
+	if got, want := s.period(ts, 10), uint64(10*CyclesPerMicrosecond); got != want {
+		t.Errorf("real period = %d, want %d", got, want)
+	}
+	// Under the default unit cost model the two time bases coincide,
+	// which is what kept the dead branch unnoticed.
+	s.instCost = 1
+	realPeriod := s.period(ts, 10)
+	s.cfg.VirtualTimer = true
+	if virt := s.period(ts, 10); virt != realPeriod {
+		t.Errorf("unit cost model: virtual %d != real %d", virt, realPeriod)
+	}
+}
+
+// TestPeriodPoissonVirtualNeverZero: exponential draws can shrink the
+// instruction budget below one; the sampler must still re-arm.
+func TestPeriodPoissonVirtualNeverZero(t *testing.T) {
+	s := &Spy{cfg: Config{VirtualTimer: true, Poisson: true}, instCost: 2100}
+	ts := &threadState{rng: rand.New(rand.NewSource(7))}
+	for i := 0; i < 1000; i++ {
+		if s.period(ts, 1) == 0 {
+			t.Fatal("Poisson virtual period rounded to zero")
+		}
+	}
+}

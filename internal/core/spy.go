@@ -6,6 +6,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/kernel"
 	"repro/internal/mxcsr"
+	"repro/internal/softfloat"
 	"repro/internal/trace"
 )
 
@@ -40,7 +41,10 @@ type threadState struct {
 	// done is set when MaxCount is reached: capture is over and the
 	// thread runs with everything masked (zero further overhead).
 	done bool
-	rng  *rand.Rand
+	// stormCount/stormStart implement the FPE_STORM watchdog window.
+	stormCount uint64
+	stormStart uint64
+	rng        *rand.Rand
 }
 
 // Spy is one process's FPSpy instance.
@@ -49,11 +53,20 @@ type Spy struct {
 	cfg     Config
 	store   *Store
 	threads map[int]*threadState
-	// disabled is set when FPSpy has gotten out of the way.
-	disabled bool
+	// state is the degradation level; it only ever moves rightwards
+	// (Individual -> Aggregate -> Detached).
+	state DegradeState
+	// reason records why state regressed from its starting level.
+	reason AbortReason
 	// inert is set by FPE_DISABLE or a config parse failure: FPSpy loads
 	// but touches nothing.
 	inert bool
+	// instCost is the cost model's cycles-per-instruction, used to
+	// convert the virtual (instruction-time) sampler period.
+	instCost uint64
+	// fights counts absorbed handler registrations per contested signal
+	// (aggressive mode).
+	fights map[kernel.Signal]uint64
 	// saved dispositions, restored when stepping aside.
 	prevFPE, prevTrap, prevTimer *kernel.SigAction
 	// ConfigErr records a configuration parse failure.
@@ -64,7 +77,12 @@ type Spy struct {
 // store. Register the result with kernel.RegisterPreload(PreloadName, ...).
 func Factory(store *Store) kernel.ObjectFactory {
 	return func(p *kernel.Process) *kernel.Object {
-		s := &Spy{proc: p, store: store, threads: make(map[int]*threadState)}
+		s := &Spy{
+			proc:    p,
+			store:   store,
+			threads: make(map[int]*threadState),
+			fights:  make(map[kernel.Signal]uint64),
+		}
 		return s.object()
 	}
 }
@@ -144,8 +162,15 @@ func (s *Spy) construct(k *kernel.Kernel, t *kernel.Task) {
 		s.inert = true
 		return
 	}
+	s.instCost = k.Cost.Instruction
+	if s.instCost == 0 {
+		s.instCost = 1
+	}
 	if cfg.Mode == ModeIndividual {
+		s.state = StateIndividual
 		s.installHandlers(k)
+	} else {
+		s.state = StateAggregate
 	}
 	s.threadInit(k, t)
 }
@@ -174,7 +199,7 @@ func (s *Spy) stepSignal() kernel.Signal {
 // threadInit starts monitoring a thread (the constructor for the initial
 // thread; the pthread_create thunk for the rest).
 func (s *Spy) threadInit(k *kernel.Kernel, t *kernel.Task) {
-	if s.inert || s.disabled {
+	if s.inert || s.state == StateDetached {
 		return
 	}
 	ts := &threadState{task: t, samplerOn: true, rng: rand.New(rand.NewSource(int64(t.TID)*7919 + 13))}
@@ -183,7 +208,7 @@ func (s *Spy) threadInit(k *kernel.Kernel, t *kernel.Task) {
 
 	cpu := &t.M.CPU
 	cpu.MXCSR.ClearFlags()
-	if s.cfg.Mode == ModeIndividual {
+	if s.state == StateIndividual {
 		cpu.MXCSR.Unmask(s.cfg.ExceptList)
 		if s.temporalSampling() {
 			t.SetTimer(s.timerKind(), s.period(ts, s.cfg.SampleOnUS))
@@ -191,7 +216,8 @@ func (s *Spy) threadInit(k *kernel.Kernel, t *kernel.Task) {
 	}
 }
 
-// period draws the next sampler period in timer units.
+// period draws the next sampler period in timer units: cycles for the
+// real timer, retired instructions for the virtual timer.
 func (s *Spy) period(ts *threadState, meanUS uint64) uint64 {
 	us := float64(meanUS)
 	if s.cfg.Poisson {
@@ -201,34 +227,57 @@ func (s *Spy) period(ts *threadState, meanUS uint64) uint64 {
 		}
 	}
 	if s.cfg.VirtualTimer {
-		// Virtual time is instruction time: one instruction per cycle in
-		// the simulator's cost model.
-		return uint64(us * CyclesPerMicrosecond)
+		// Virtual time is instruction time: convert the cycle budget to
+		// retired instructions through the cost model.
+		ic := s.instCost
+		if ic == 0 {
+			ic = 1
+		}
+		n := uint64(us * CyclesPerMicrosecond / float64(ic))
+		if n == 0 {
+			n = 1
+		}
+		return n
 	}
 	return uint64(us * CyclesPerMicrosecond)
 }
 
-// threadTeardown completes a thread's trace at exit.
+// threadTeardown completes a thread's trace at exit: aggregate records
+// for aggregate (or demoted) spies, individual trace flushing otherwise,
+// plus a last MXCSR integrity check — a mask-everything stomp never
+// faults again, so thread exit is the first chance to notice it.
 func (s *Spy) threadTeardown(k *kernel.Kernel, t *kernel.Task) {
 	if s.inert {
 		return
 	}
-	if s.cfg.Mode == ModeAggregate {
+	if ts := s.threads[t.TID]; ts != nil && s.state == StateIndividual {
+		if t.M.CPU.MXCSR.Masks() != s.expectedMasks(ts) {
+			s.detach(k, t, AbortMXCSRStomp, t.TID)
+		}
+	}
+	if s.cfg.Mode == ModeAggregate || s.state == StateAggregate {
 		agg := trace.Aggregate{
 			PID:          s.proc.PID,
 			TID:          t.TID,
 			Instructions: t.M.Retired,
-			Aborted:      s.disabled,
+			Aborted:      s.state == StateDetached,
+			Reason:       string(s.reason),
 		}
-		if !s.disabled {
+		if !agg.Aborted {
 			agg.Flags = t.M.CPU.MXCSR.Flags()
 		}
 		s.store.addAggregate(agg)
-		return
+		if s.cfg.Mode == ModeAggregate {
+			return
+		}
+		// A demoted individual-mode spy falls through: records captured
+		// before the demotion still need to reach the trace.
 	}
 	if ts := s.threads[t.TID]; ts != nil {
 		key := ThreadKey{PID: s.proc.PID, TID: t.TID}
-		_ = s.store.writer(key).Flush()
+		if err := s.store.writer(key).Flush(); err != nil {
+			s.store.recordFlushErr(key, err)
+		}
 	}
 }
 
@@ -253,7 +302,7 @@ func (s *Spy) wrapThreadCreate(sym string) kernel.Symbol {
 			return
 		}
 		real(k, t)
-		if s.inert || s.disabled {
+		if s.inert || s.state == StateDetached {
 			return
 		}
 		newTID := int(t.M.CPU.R[isa.R1])
@@ -275,14 +324,23 @@ func (s *Spy) wrapSignal(sym string) kernel.Symbol {
 		sig := kernel.Signal(t.M.CPU.R[isa.R1])
 		mine := sig == kernel.SIGFPE || sig == s.stepSignal() ||
 			(s.temporalSampling() && sig == s.timerSignal())
-		if !s.inert && !s.disabled && s.cfg.Mode == ModeIndividual && mine {
+		if !s.inert && s.state == StateIndividual && mine {
 			if s.cfg.Aggressive {
 				// Aggressive mode: keep spying; report "previous handler
-				// was default" to the application.
+				// was default" to the application, and log the fight so
+				// analysis can see how hard the app contested the signal.
+				s.fights[sig]++
+				s.store.addEvent(trace.MonitorEvent{
+					Time: t.UserCycles + t.SysCycles,
+					PID:  s.proc.PID, TID: t.TID,
+					Kind:   trace.EventSignalFight,
+					Signal: sig.String(),
+					Count:  s.fights[sig],
+				})
 				t.M.CPU.R[isa.R1] = 0
 				return
 			}
-			s.stepAside(k)
+			s.stepAside(k, t, AbortSignalConflict)
 		}
 		if real := s.next(sym); real != nil {
 			real(k, t)
@@ -295,8 +353,8 @@ func (s *Spy) wrapSignal(sym string) kernel.Symbol {
 // on, so FPSpy gets out of the way first and then lets the call through.
 func (s *Spy) wrapFE(sym string) kernel.Symbol {
 	return func(k *kernel.Kernel, t *kernel.Task) {
-		if !s.inert && !s.disabled {
-			s.stepAside(k)
+		if !s.inert && s.state != StateDetached {
+			s.stepAside(k, t, AbortFEAccess)
 		}
 		if real := s.next(sym); real != nil {
 			real(k, t)
@@ -308,21 +366,40 @@ func (s *Spy) wrapFE(sym string) kernel.Symbol {
 // dispositions, return every monitored thread's floating point control
 // state to the masked default, disarm sampler timers, and stop touching
 // anything. The application keeps running.
-func (s *Spy) stepAside(k *kernel.Kernel) {
-	if s.disabled || s.inert {
+func (s *Spy) stepAside(k *kernel.Kernel, t *kernel.Task, reason AbortReason) {
+	s.detach(k, t, reason, -1)
+}
+
+// detach is the Detached transition. skipTID, when >= 0, names a thread
+// whose MXCSR must be left exactly as the application set it: after an
+// ldmxcsr stomp the register is entirely application state, and resetting
+// it would change behavior the application asked for (e.g. dying on a
+// divide it deliberately unmasked).
+func (s *Spy) detach(k *kernel.Kernel, t *kernel.Task, reason AbortReason, skipTID int) {
+	if s.inert || s.state == StateDetached {
 		return
 	}
-	s.disabled = true
+	from := s.state
+	s.state = StateDetached
+	s.reason = reason
 	s.store.StepAsides++
-	if s.cfg.Mode != ModeIndividual {
+	s.store.addEvent(trace.MonitorEvent{
+		Time: t.UserCycles + t.SysCycles,
+		PID:  s.proc.PID, TID: t.TID,
+		Kind: trace.EventAbort,
+		From: from.String(), To: StateDetached.String(),
+		Reason: string(reason),
+	})
+	if from != StateIndividual {
+		// Aggregate spies (original or demoted) hold no signals, timers,
+		// or mask state: nothing to unwind.
 		return
 	}
-	k.SetSigAction(s.proc, kernel.SIGFPE, s.prevFPE)
-	k.SetSigAction(s.proc, s.stepSignal(), s.prevTrap)
-	if s.temporalSampling() {
-		k.SetSigAction(s.proc, s.timerSignal(), s.prevTimer)
-	}
+	s.restoreHandlers(k)
 	for _, ts := range s.threads {
+		if ts.task.TID == skipTID {
+			continue
+		}
 		cpu := &ts.task.M.CPU
 		cpu.MXCSR.Mask(AllEvents)
 		cpu.TF = false
@@ -331,6 +408,61 @@ func (s *Spy) stepAside(k *kernel.Kernel) {
 		ts.task.M.Breakpoints = nil
 		ts.task.SetTimer(s.timerKind(), 0)
 	}
+	if skipTID >= 0 {
+		// The stomping thread still must not keep FPSpy's trap machinery.
+		if ts := s.threads[skipTID]; ts != nil {
+			ts.task.M.CPU.TF = false
+			ts.task.M.Breakpoints = nil
+			ts.task.SetTimer(s.timerKind(), 0)
+		}
+	}
+}
+
+// restoreHandlers puts back the signal dispositions saved at install.
+func (s *Spy) restoreHandlers(k *kernel.Kernel) {
+	k.SetSigAction(s.proc, kernel.SIGFPE, s.prevFPE)
+	k.SetSigAction(s.proc, s.stepSignal(), s.prevTrap)
+	if s.temporalSampling() {
+		k.SetSigAction(s.proc, s.timerSignal(), s.prevTimer)
+	}
+}
+
+// demote is the Individual -> Aggregate transition (the trap-storm
+// watchdog): release signals, timers, and mask manipulation, but keep
+// reading the sticky condition codes so thread exit still yields an
+// aggregate record. Sticky flags are deliberately NOT cleared — from the
+// demotion onward they accumulate exactly as under an aggregate spy.
+func (s *Spy) demote(k *kernel.Kernel, t *kernel.Task, reason AbortReason) {
+	if s.inert || s.state != StateIndividual {
+		return
+	}
+	s.state = StateAggregate
+	s.reason = reason
+	s.store.addEvent(trace.MonitorEvent{
+		Time: t.UserCycles + t.SysCycles,
+		PID:  s.proc.PID, TID: t.TID,
+		Kind: trace.EventDemote,
+		From: StateIndividual.String(), To: StateAggregate.String(),
+		Reason: string(reason),
+	})
+	s.restoreHandlers(k)
+	for _, ts := range s.threads {
+		cpu := &ts.task.M.CPU
+		cpu.MXCSR.Mask(AllEvents)
+		cpu.TF = false
+		ts.task.M.Breakpoints = nil
+		ts.task.SetTimer(s.timerKind(), 0)
+	}
+}
+
+// expectedMasks is the mask set FPSpy believes it left on a monitored
+// thread given the protocol phase; any other value means the application
+// rewrote MXCSR behind FPSpy's back.
+func (s *Spy) expectedMasks(ts *threadState) softfloat.Flags {
+	if ts.done || !ts.samplerOn || ts.phase == awaitTrap {
+		return AllEvents
+	}
+	return AllEvents &^ s.cfg.ExceptList
 }
 
 // onSIGFPE is the heart of individual mode: log the event, then arrange
@@ -338,9 +470,50 @@ func (s *Spy) stepAside(k *kernel.Kernel) {
 // paper's AWAIT_FPE -> AWAIT_TRAP transition.
 func (s *Spy) onSIGFPE(k *kernel.Kernel, t *kernel.Task, info *kernel.SigInfo, mc *kernel.MContext) {
 	ts := s.threads[t.TID]
-	if ts == nil || s.disabled {
+	if ts == nil || s.state != StateIndividual {
 		return
 	}
+
+	// MXCSR integrity recheck: if the mask bits differ from what the
+	// protocol left there, the application rewrote MXCSR directly
+	// (ldmxcsr), bypassing the fe* interposition layer.
+	if mc.CPU.MXCSR.Masks() != s.expectedMasks(ts) {
+		if s.cfg.Aggressive {
+			// Keep spying: the protocol below re-establishes FPSpy's
+			// masks; just log that we had to re-assert them.
+			s.store.addEvent(trace.MonitorEvent{
+				Time: t.UserCycles + t.SysCycles,
+				PID:  s.proc.PID, TID: t.TID,
+				Kind:   trace.EventReassert,
+				Reason: string(AbortMXCSRStomp),
+			})
+		} else {
+			// Step aside, leaving the stomping thread's MXCSR exactly as
+			// the application wrote it. The faulting instruction re-runs
+			// under the restored (default) disposition, so an exception
+			// the application deliberately unmasked behaves as if FPSpy
+			// had never been loaded.
+			s.detach(k, t, AbortMXCSRStomp, t.TID)
+			return
+		}
+	}
+
+	// Trap-storm watchdog: a fault rate above FPE_STORM's threshold
+	// demotes to aggregate mode so monitoring overhead stays bounded.
+	if s.cfg.StormFaults > 0 {
+		now := t.UserCycles + t.SysCycles
+		if now-ts.stormStart > s.cfg.StormCycles {
+			ts.stormStart, ts.stormCount = now, 0
+		}
+		ts.stormCount++
+		if ts.stormCount >= s.cfg.StormFaults {
+			// Masking via mc takes effect on handler return, so the
+			// in-flight fault re-executes masked and retires normally.
+			s.demote(k, t, AbortTrapStorm)
+			return
+		}
+	}
+
 	ts.faults++
 	s.store.Faults++
 
@@ -389,13 +562,13 @@ func (s *Spy) onSIGFPE(k *kernel.Kernel, t *kernel.Task, info *kernel.SigInfo, m
 // when sampling is off or capture is done).
 func (s *Spy) onSIGTRAP(k *kernel.Kernel, t *kernel.Task, info *kernel.SigInfo, mc *kernel.MContext) {
 	ts := s.threads[t.TID]
-	if ts == nil || s.disabled {
+	if ts == nil || s.state != StateIndividual {
 		return
 	}
 	if ts.phase != awaitTrap {
 		// A trap we did not arm: something else is single-stepping; the
 		// conservative response is to get out of the way.
-		s.stepAside(k)
+		s.stepAside(k, t, AbortForeignTrap)
 		return
 	}
 	mc.CPU.MXCSR.ClearFlags()
@@ -415,7 +588,7 @@ func (s *Spy) onSIGTRAP(k *kernel.Kernel, t *kernel.Task, info *kernel.SigInfo, 
 // PASTA property makes the on-periods a valid random sample).
 func (s *Spy) onTimer(k *kernel.Kernel, t *kernel.Task, info *kernel.SigInfo, mc *kernel.MContext) {
 	ts := s.threads[t.TID]
-	if ts == nil || s.disabled {
+	if ts == nil || s.state != StateIndividual {
 		return
 	}
 	ts.samplerOn = !ts.samplerOn
@@ -437,4 +610,11 @@ func (s *Spy) onTimer(k *kernel.Kernel, t *kernel.Task, info *kernel.SigInfo, mc
 }
 
 // Disabled reports whether this instance has stepped aside.
-func (s *Spy) Disabled() bool { return s.disabled }
+func (s *Spy) Disabled() bool { return s.state == StateDetached }
+
+// State reports the current degradation level.
+func (s *Spy) State() DegradeState { return s.state }
+
+// Reason reports why the state regressed ("" while at the starting
+// level).
+func (s *Spy) Reason() AbortReason { return s.reason }

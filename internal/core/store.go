@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"sort"
 
 	"repro/internal/trace"
@@ -23,7 +24,10 @@ func (k ThreadKey) String() string { return fmt.Sprintf("%d.%d.fpemon", k.PID, k
 type Store struct {
 	buffers    map[ThreadKey]*bytes.Buffer
 	writers    map[ThreadKey]*trace.Writer
+	sink       func(ThreadKey) io.Writer
 	aggregates []trace.Aggregate
+	events     []trace.MonitorEvent
+	flushErrs  []error
 	// Faults counts every SIGFPE FPSpy handled (recorded or not).
 	Faults uint64
 	// Recorded counts records actually written.
@@ -40,16 +44,63 @@ func NewStore() *Store {
 	}
 }
 
+// NewStoreWithSink creates a store whose per-thread trace bytes go to
+// writers produced by sink instead of in-memory buffers. Used to model
+// trace files on failing media; Records/RawTrace are unavailable for
+// sink-backed threads.
+func NewStoreWithSink(sink func(ThreadKey) io.Writer) *Store {
+	s := NewStore()
+	s.sink = sink
+	return s
+}
+
 // writer returns (creating if needed) the trace writer for a thread.
 func (s *Store) writer(key ThreadKey) *trace.Writer {
 	if w, ok := s.writers[key]; ok {
 		return w
 	}
-	buf := &bytes.Buffer{}
-	w := trace.NewWriter(buf)
-	s.buffers[key] = buf
+	var w *trace.Writer
+	if s.sink != nil {
+		w = trace.NewWriter(s.sink(key))
+	} else {
+		buf := &bytes.Buffer{}
+		s.buffers[key] = buf
+		w = trace.NewWriter(buf)
+	}
 	s.writers[key] = w
 	return w
+}
+
+// recordFlushErr remembers a trace flush failure so the run result can
+// surface it instead of dropping records silently.
+func (s *Store) recordFlushErr(key ThreadKey, err error) {
+	s.flushErrs = append(s.flushErrs, fmt.Errorf("fpspy: flushing trace %v: %w", key, err))
+}
+
+// FlushErrs returns trace flush failures recorded during teardown.
+func (s *Store) FlushErrs() []error { return s.flushErrs }
+
+// addEvent appends a monitor-log entry.
+func (s *Store) addEvent(ev trace.MonitorEvent) { s.events = append(s.events, ev) }
+
+// MonitorEvents returns the monitor log in event order.
+func (s *Store) MonitorEvents() []trace.MonitorEvent {
+	return append([]trace.MonitorEvent(nil), s.events...)
+}
+
+// MonitorLog renders the monitor log in its on-disk text form.
+func (s *Store) MonitorLog() string { return trace.RenderMonitorLog(s.events) }
+
+// SignalFights totals, per contested signal, how many registration
+// attempts aggressive mode absorbed (one signal-fight event per attempt).
+func (s *Store) SignalFights() map[string]uint64 {
+	out := map[string]uint64{}
+	for _, ev := range s.events {
+		if ev.Kind == trace.EventSignalFight {
+			out[ev.Signal]++
+		}
+	}
+	return out
 }
 
 // addAggregate appends a thread's aggregate record.

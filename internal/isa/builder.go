@@ -286,6 +286,18 @@ func (b *Builder) Fstv(rs1 int, disp int64, xs int) {
 	b.emit(Inst{Op: OpFSTV, Rs1: uint8(rs1), Rs2: uint8(xs), Imm: disp})
 }
 
+// Ldmxcsr replaces the whole %mxcsr register from mem32[rs1+disp] — the
+// application's direct write channel to FP control state, bypassing the
+// interposable fe* libc surface entirely.
+func (b *Builder) Ldmxcsr(rs1 int, disp int64) {
+	b.emit(Inst{Op: OpLDMXCSR, Rs1: uint8(rs1), Imm: disp})
+}
+
+// Stmxcsr stores %mxcsr to mem32[rs1+disp].
+func (b *Builder) Stmxcsr(rs1 int, disp int64) {
+	b.emit(Inst{Op: OpSTMXCSR, Rs1: uint8(rs1), Imm: disp})
+}
+
 // --- floating point ---
 
 // FP2 emits a two-source floating point arithmetic instruction in

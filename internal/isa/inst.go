@@ -107,6 +107,8 @@ func (i Inst) String() string {
 			return fmt.Sprintf("ld r%d, [r%d%+d]", i.Rd, i.Rs1, i.Imm)
 		case OpST:
 			return fmt.Sprintf("st [r%d%+d], r%d", i.Rs1, i.Imm, i.Rs2)
+		case OpLDMXCSR, OpSTMXCSR:
+			return fmt.Sprintf("%s [r%d%+d]", info.Name, i.Rs1, i.Imm)
 		case OpFLD, OpFLDS, OpFLDV:
 			return fmt.Sprintf("%s x%d, [r%d%+d]", info.Name, i.Rd, i.Rs1, i.Imm)
 		default:

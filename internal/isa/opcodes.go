@@ -233,6 +233,14 @@ var (
 	OpFSTS = memOp("fsts")
 	OpFLDV = memOp("fldv") // xd = mem256[rs1+disp]
 	OpFSTV = memOp("fstv")
+
+	// OpLDMXCSR and OpSTMXCSR are the SSE control-register access forms:
+	// ldmxcsr replaces the whole %mxcsr from mem32[rs1+disp], stmxcsr
+	// stores it. They are the application's direct, libc-free channel to
+	// the control state FPSpy depends on — the adversarial path the chaos
+	// harness uses to stomp FPSpy's masks from guest code.
+	OpLDMXCSR = memOp("ldmxcsr") // mxcsr = mem32[rs1+disp]
+	OpSTMXCSR = memOp("stmxcsr") // mem32[rs1+disp] = mxcsr
 )
 
 // FP move forms (never raise exceptions, even on denormals).

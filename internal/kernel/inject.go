@@ -1,0 +1,100 @@
+package kernel
+
+import "math/rand"
+
+// This file implements chaos injection: seeded, deterministic
+// kernel-level perturbations used by the internal/chaos harness to attack
+// FPSpy's assumptions about signal delivery latency and scheduling. All
+// randomness comes from one rand.Rand owned by the kernel loop (which is
+// single-threaded), so a given seed always reproduces the same
+// perturbation sequence.
+
+// Inject configures kernel-level fault injection. A nil *Inject on the
+// Kernel means no perturbation (the default, zero-overhead path).
+type Inject struct {
+	// DelayMax, when nonzero, defers delivery of asynchronous timer
+	// signals (SIGALRM/SIGVTALRM) by 1..DelayMax retired instructions
+	// past their expiry — the "signal arrives late" adversary. Fault
+	// signals stay synchronous, as on real hardware.
+	DelayMax uint64
+	// ShuffleSched permutes the runnable-task order every scheduling
+	// round — the adversarial interleaving generator.
+	ShuffleSched bool
+	// QuantumJitter varies each task's timeslice per round within
+	// [quantum/4, quantum] instead of the fixed quantum.
+	QuantumJitter bool
+
+	rng *rand.Rand
+}
+
+// NewInject creates an injection config whose perturbations are drawn
+// deterministically from seed. Enable individual attacks by setting the
+// exported fields.
+func NewInject(seed int64) *Inject {
+	return &Inject{rng: rand.New(rand.NewSource(seed))}
+}
+
+// pendingSig is a delayed signal: delivered when delay instructions have
+// retired on the task.
+type pendingSig struct {
+	sig   Signal
+	info  SigInfo
+	delay uint64
+}
+
+// delaySignal queues sig for delayed delivery, returning true when the
+// injector decided to defer it.
+func (k *Kernel) delaySignal(t *Task, sig Signal, info SigInfo) bool {
+	inj := k.Inject
+	if inj == nil || inj.DelayMax == 0 {
+		return false
+	}
+	delay := 1 + uint64(inj.rng.Int63n(int64(inj.DelayMax)))
+	t.pendingSigs = append(t.pendingSigs, pendingSig{sig: sig, info: info, delay: delay})
+	return true
+}
+
+// drainPending ticks delayed signals by one retired instruction and
+// delivers those that have come due. Runs on the precise path only:
+// fastBatch refuses to batch while signals are pending, so every retired
+// instruction passes through here.
+func (k *Kernel) drainPending(t *Task) {
+	for i := 0; i < len(t.pendingSigs); {
+		ps := &t.pendingSigs[i]
+		ps.delay--
+		if ps.delay > 0 {
+			i++
+			continue
+		}
+		due := *ps
+		t.pendingSigs = append(t.pendingSigs[:i], t.pendingSigs[i+1:]...)
+		t.sigInfo = due.info
+		k.deliverSignal(t, due.sig, &t.sigInfo)
+		if t.State != TaskRunnable || t.Proc.Exited {
+			return
+		}
+	}
+}
+
+// schedOrder returns the task order for one scheduling round, shuffled
+// when the injector asks for adversarial interleavings. The run queue
+// itself is never reordered — only the round's snapshot.
+func (k *Kernel) schedOrder(queue []*Task) []*Task {
+	inj := k.Inject
+	if inj == nil || !inj.ShuffleSched {
+		return queue
+	}
+	out := make([]*Task, len(queue))
+	copy(out, queue)
+	inj.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// schedQuantum returns this round's timeslice for one task.
+func (k *Kernel) schedQuantum() uint64 {
+	inj := k.Inject
+	if inj == nil || !inj.QuantumJitter {
+		return quantum
+	}
+	return quantum/4 + uint64(inj.rng.Int63n(3*quantum/4+1))
+}

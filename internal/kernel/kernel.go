@@ -63,6 +63,10 @@ type Task struct {
 	// pendingKill marks the task for termination by signal.
 	pendingKill bool
 
+	// pendingSigs are chaos-delayed signals awaiting delivery (see
+	// Inject.DelayMax); empty except under injection.
+	pendingSigs []pendingSig
+
 	// sigInfo and mctx are per-task scratch reused across signal
 	// deliveries, keeping the trap hot path (two deliveries per traced FP
 	// event) free of heap allocation. Handlers run synchronously and must
@@ -119,6 +123,9 @@ type Kernel struct {
 	// tests and ablations; the two paths are bit-identical by
 	// construction, so leaving this false is always safe.
 	NoFastPath bool
+	// Inject, when non-nil, enables seeded chaos perturbations (delayed
+	// signal delivery, adversarial scheduling). Nil for normal runs.
+	Inject *Inject
 
 	nextPID  int
 	nextTID  int
@@ -335,8 +342,9 @@ func (k *Kernel) Run(maxSteps uint64) uint64 {
 	for total < maxSteps {
 		ran := false
 		// Stable task order: snapshot the run queue (it can grow when
-		// threads or processes are created mid-quantum).
-		queue := k.runq
+		// threads or processes are created mid-quantum). Chaos injection
+		// may permute the snapshot and jitter the timeslice.
+		queue := k.schedOrder(k.runq)
 		var maxTaskCycles uint64
 		for _, t := range queue {
 			if t.State != TaskRunnable || t.Proc.Exited {
@@ -344,7 +352,7 @@ func (k *Kernel) Run(maxSteps uint64) uint64 {
 			}
 			ran = true
 			before := t.UserCycles + t.SysCycles
-			steps := k.runTask(t, quantum)
+			steps := k.runTask(t, k.schedQuantum())
 			total += steps
 			delta := t.UserCycles + t.SysCycles - before
 			if delta > maxTaskCycles {
@@ -442,6 +450,9 @@ func (k *Kernel) completeStep(t *Task, ev machine.Event) {
 	if t.State == TaskRunnable && !t.Proc.Exited {
 		k.tickTimers(t, t.UserCycles+t.SysCycles-before)
 	}
+	if len(t.pendingSigs) > 0 && t.State == TaskRunnable && !t.Proc.Exited {
+		k.drainPending(t)
+	}
 	if t.pendingKill {
 		t.pendingKill = false
 		k.ExitTask(t, TaskKilled)
@@ -456,6 +467,11 @@ func (k *Kernel) completeStep(t *Task, ev machine.Event) {
 // RunStraight and terminate the batch on their own.
 func (k *Kernel) fastBatch(t *Task, budget uint64) uint64 {
 	if k.NoFastPath || budget == 0 || t.M.CPU.TF || t.pendingKill {
+		return 0
+	}
+	// Delayed signals tick in instruction time on the precise path;
+	// batching past a pending delivery point would skip it.
+	if len(t.pendingSigs) > 0 {
 		return 0
 	}
 	batch := budget

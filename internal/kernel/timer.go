@@ -35,8 +35,10 @@ func (k *Kernel) tickTimers(t *Task, cycles uint64) {
 		if tm.remaining <= 1 {
 			tm.armed = false
 			t.SysCycles += k.Cost.TimerIRQ
-			t.sigInfo = SigInfo{Signo: SIGVTALRM}
-			k.deliverSignal(t, SIGVTALRM, &t.sigInfo)
+			if !k.delaySignal(t, SIGVTALRM, SigInfo{Signo: SIGVTALRM}) {
+				t.sigInfo = SigInfo{Signo: SIGVTALRM}
+				k.deliverSignal(t, SIGVTALRM, &t.sigInfo)
+			}
 		} else {
 			tm.remaining--
 		}
@@ -45,8 +47,10 @@ func (k *Kernel) tickTimers(t *Task, cycles uint64) {
 		if tm.remaining <= cycles {
 			tm.armed = false
 			t.SysCycles += k.Cost.TimerIRQ
-			t.sigInfo = SigInfo{Signo: SIGALRM}
-			k.deliverSignal(t, SIGALRM, &t.sigInfo)
+			if !k.delaySignal(t, SIGALRM, SigInfo{Signo: SIGALRM}) {
+				t.sigInfo = SigInfo{Signo: SIGALRM}
+				k.deliverSignal(t, SIGALRM, &t.sigInfo)
+			}
 		} else {
 			tm.remaining -= cycles
 		}

@@ -433,6 +433,16 @@ func (m *Machine) Step() Event {
 					return m.memFault(addr, ea)
 				}
 			}
+		case isa.OpLDMXCSR:
+			v, ok := m.load32(ea)
+			if !ok {
+				return m.memFault(addr, ea)
+			}
+			c.MXCSR = mxcsr.Reg(v)
+		case isa.OpSTMXCSR:
+			if !m.store32(ea, uint32(c.MXCSR)) {
+				return m.memFault(addr, ea)
+			}
 		}
 
 	case isa.ClassFPMove:

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MonitorEventKind classifies monitor-log entries.
+type MonitorEventKind string
+
+const (
+	// EventAbort records a transition into the detached state: FPSpy got
+	// out of the way.
+	EventAbort MonitorEventKind = "abort"
+	// EventDemote records a degradation that keeps FPSpy attached in a
+	// cheaper mode (individual -> aggregate, the trap-storm watchdog).
+	EventDemote MonitorEventKind = "demote"
+	// EventSignalFight records the application attempting to install a
+	// handler for a signal FPSpy owns while aggressive mode absorbed it.
+	EventSignalFight MonitorEventKind = "signal-fight"
+	// EventReassert records FPSpy re-asserting its MXCSR mask state after
+	// the guest stomped it (aggressive mode only).
+	EventReassert MonitorEventKind = "reassert"
+)
+
+// MonitorEvent is one entry of FPSpy's monitor log: the robustness
+// side-channel recording degradations, aborts with their typed reasons,
+// and signal-interposition conflicts. The log is a line-oriented text
+// format so it survives partial writes and is trivially greppable, in the
+// same spirit as the aggregate-mode records.
+type MonitorEvent struct {
+	// Time is the kernel cycle clock at the event.
+	Time uint64
+	// PID and TID locate the event; TID is 0 for process-wide events.
+	PID, TID int
+	// Kind classifies the event.
+	Kind MonitorEventKind
+	// From and To are degradation states for abort/demote events.
+	From, To string
+	// Reason is the typed abort reason for abort/demote events.
+	Reason string
+	// Signal names the contested signal for signal-fight/reassert events.
+	Signal string
+	// Count is the cumulative attempt count for signal-fight events.
+	Count uint64
+}
+
+// String renders the event as one log line.
+func (e MonitorEvent) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "t=%d pid=%d tid=%d kind=%s", e.Time, e.PID, e.TID, e.Kind)
+	if e.From != "" {
+		fmt.Fprintf(&sb, " from=%s", e.From)
+	}
+	if e.To != "" {
+		fmt.Fprintf(&sb, " to=%s", e.To)
+	}
+	if e.Reason != "" {
+		fmt.Fprintf(&sb, " reason=%s", e.Reason)
+	}
+	if e.Signal != "" {
+		fmt.Fprintf(&sb, " sig=%s", e.Signal)
+	}
+	if e.Count != 0 {
+		fmt.Fprintf(&sb, " count=%d", e.Count)
+	}
+	return sb.String()
+}
+
+// RenderMonitorLog serializes events into the on-disk log form, one line
+// per event.
+func RenderMonitorLog(evs []MonitorEvent) string {
+	var sb strings.Builder
+	for _, e := range evs {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ParseMonitorLog parses a rendered monitor log. Blank lines are skipped;
+// unknown fields are an error so format drift is caught loudly.
+func ParseMonitorLog(data []byte) ([]MonitorEvent, error) {
+	var evs []MonitorEvent
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var e MonitorEvent
+		for _, tok := range strings.Fields(line) {
+			key, val, ok := strings.Cut(tok, "=")
+			if !ok {
+				return nil, fmt.Errorf("trace: monitor log line %d: bad token %q", ln+1, tok)
+			}
+			var err error
+			switch key {
+			case "t":
+				e.Time, err = strconv.ParseUint(val, 10, 64)
+			case "pid":
+				e.PID, err = strconv.Atoi(val)
+			case "tid":
+				e.TID, err = strconv.Atoi(val)
+			case "kind":
+				e.Kind = MonitorEventKind(val)
+			case "from":
+				e.From = val
+			case "to":
+				e.To = val
+			case "reason":
+				e.Reason = val
+			case "sig":
+				e.Signal = val
+			case "count":
+				e.Count, err = strconv.ParseUint(val, 10, 64)
+			default:
+				return nil, fmt.Errorf("trace: monitor log line %d: unknown field %q", ln+1, key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("trace: monitor log line %d: field %q: %v", ln+1, key, err)
+			}
+		}
+		if e.Kind == "" {
+			return nil, fmt.Errorf("trace: monitor log line %d: missing kind", ln+1)
+		}
+		evs = append(evs, e)
+	}
+	return evs, nil
+}

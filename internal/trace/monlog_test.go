@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMonitorLogRoundTrip(t *testing.T) {
+	evs := []MonitorEvent{
+		{Time: 120, PID: 1000, TID: 1001, Kind: EventAbort,
+			From: "individual", To: "detached", Reason: "fe-access"},
+		{Time: 900, PID: 1000, TID: 1002, Kind: EventDemote,
+			From: "individual", To: "aggregate", Reason: "trap-storm"},
+		{Time: 77, PID: 1001, Kind: EventSignalFight, Signal: "SIGFPE", Count: 3},
+		{Time: 42, PID: 1002, TID: 1005, Kind: EventReassert, Signal: "SIGFPE"},
+	}
+	back, err := ParseMonitorLog([]byte(RenderMonitorLog(evs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(evs, back) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, evs)
+	}
+}
+
+func TestMonitorLogParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"t=1 pid=2 bogus",         // token without =
+		"t=1 pid=2 color=red",     // unknown field
+		"t=zap pid=2 kind=abort",  // bad integer
+		"t=1 pid=2 tid=3 from=in", // missing kind
+	} {
+		if _, err := ParseMonitorLog([]byte(bad)); err == nil {
+			t.Errorf("ParseMonitorLog(%q): expected error", bad)
+		}
+	}
+	// Blank lines are fine.
+	evs, err := ParseMonitorLog([]byte("\n\n"))
+	if err != nil || len(evs) != 0 {
+		t.Errorf("blank log: evs=%v err=%v", evs, err)
+	}
+}
+
+func TestAggregateStringWithReason(t *testing.T) {
+	a := Aggregate{PID: 1, TID: 2, Instructions: 10, Reason: "trap-storm"}
+	if got := a.String(); got != "pid=1 tid=2 conditions=- instructions=10 status=complete reason=trap-storm" {
+		t.Errorf("unexpected render: %q", got)
+	}
+}

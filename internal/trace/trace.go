@@ -143,6 +143,9 @@ type Aggregate struct {
 	Instructions uint64
 	// Aborted marks traces where FPSpy got out of the way mid-run.
 	Aborted bool
+	// Reason is the typed abort/demotion reason when the record comes
+	// from a degraded run ("" for clean runs).
+	Reason string
 }
 
 // String renders the aggregate record in its human-readable single-line
@@ -152,6 +155,10 @@ func (a Aggregate) String() string {
 	if a.Aborted {
 		status = "aborted"
 	}
-	return fmt.Sprintf("pid=%d tid=%d conditions=%v instructions=%d status=%s",
+	s := fmt.Sprintf("pid=%d tid=%d conditions=%v instructions=%d status=%s",
 		a.PID, a.TID, a.Flags, a.Instructions, status)
+	if a.Reason != "" {
+		s += " reason=" + a.Reason
+	}
+	return s
 }
