@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/analysis"
+	"repro/internal/obs"
 	"repro/internal/study"
 	"repro/internal/trace"
 )
@@ -25,7 +26,16 @@ func main() {
 	addrs := flag.Bool("addrs", true, "rank instruction addresses")
 	rateBin := flag.Float64("rate", 0, "emit an events/s time series with this bin size in microseconds")
 	logPath := flag.String("log", "", "also report a robustness monitor log (.fplog)")
+	pprofAddr := flag.String("pprof", "", "serve pprof on this address while analyzing")
 	flag.Parse()
+	if *pprofAddr != "" {
+		srv, err := obs.Serve(*pprofAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpanalyze:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+	}
 	if flag.NArg() == 0 && *logPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: fpanalyze [-forms] [-addrs] [-rate BIN_US] [-log FILE.fplog] [<file.fpemon>...]")
 		os.Exit(2)

@@ -1,0 +1,126 @@
+// Command fpmon is the live observability dashboard for the FPSpy
+// reproduction. It runs a workload (or the full study's passes) with
+// metrics and tracing enabled, refreshes a text dashboard while the
+// simulation executes, and prints the final summary table.
+//
+// Usage:
+//
+//	fpmon [-size small|large] [-interval 250ms] <workload>
+//	fpmon -study [-workers N]      # monitor the full study's passes
+//	fpmon -snapshot metrics.json   # render a saved -metricsout snapshot
+//
+// The same snapshot JSON is served live on -pprof's /metrics endpoint,
+// so `fpstudy -pprof :6060` plus `curl :6060/metrics | fpmon -snapshot
+// /dev/stdin` is the remote equivalent.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	fpspy "repro"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/study"
+	"repro/internal/workload"
+)
+
+func main() {
+	snapshotPath := flag.String("snapshot", "", "render a saved metrics snapshot JSON file and exit")
+	runStudy := flag.Bool("study", false, "monitor the full study's passes instead of one workload")
+	workers := flag.Int("workers", 0, "study worker pool size (0 = one per CPU)")
+	size := flag.String("size", "large", "problem size: small or large")
+	interval := flag.Duration("interval", 250*time.Millisecond, "dashboard refresh interval")
+	noDash := flag.Bool("nodash", false, "skip the live dashboard, print only the final summary")
+	pprofAddr := flag.String("pprof", "", "serve pprof and /metrics on this address")
+	flag.Parse()
+
+	if *snapshotPath != "" {
+		data, err := os.ReadFile(*snapshotPath)
+		if err != nil {
+			fatal(err)
+		}
+		snap, err := obs.ParseSnapshot(data)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(obs.RenderSummary(snap))
+		return
+	}
+
+	om := obs.New(obs.Options{TraceCapacity: 1 << 20})
+	if *pprofAddr != "" {
+		srv, err := obs.Serve(*pprofAddr, om)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "fpmon: pprof and /metrics on http://%s\n", srv.Addr)
+	}
+	sampler := obs.StartSelfSampler(om, *interval)
+
+	done := make(chan error, 1)
+	if *runStudy {
+		s := study.NewWithWorkers(*workers)
+		s.Obs = om
+		go func() {
+			s.Prewarm()
+			done <- nil
+		}()
+	} else {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: fpmon [-interval DUR] <workload> | -study | -snapshot FILE")
+			os.Exit(2)
+		}
+		sz := workload.SizeLarge
+		switch *size {
+		case "large":
+		case "small":
+			sz = workload.SizeSmall
+		default:
+			fmt.Fprintf(os.Stderr, "fpmon: unknown size %q\n", *size)
+			os.Exit(2)
+		}
+		w, err := workload.ByName(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		cfg := core.Config{Mode: core.ModeIndividual, ExceptList: core.AllEvents &^ fpspy.FlagInexact}
+		go func() {
+			_, err := fpspy.Run(w.Build(sz), fpspy.Options{Config: cfg, Obs: om})
+			done <- err
+		}()
+	}
+
+	var runErr error
+	if *noDash {
+		runErr = <-done
+	} else {
+		tick := time.NewTicker(*interval)
+	loop:
+		for {
+			select {
+			case runErr = <-done:
+				tick.Stop()
+				break loop
+			case <-tick.C:
+				// ANSI home+clear keeps the dashboard in place on real
+				// terminals and degrades to plain appends elsewhere.
+				fmt.Print("\033[H\033[2J")
+				fmt.Print(obs.RenderDashboard(om.Snapshot()))
+			}
+		}
+	}
+	sampler.Stop()
+	if runErr != nil {
+		fatal(runErr)
+	}
+	fmt.Print(obs.RenderSummary(om.Snapshot()))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpmon:", err)
+	os.Exit(1)
+}

@@ -21,6 +21,7 @@ import (
 	fpspy "repro"
 	"repro/internal/analysis"
 	"repro/internal/binscan"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -38,7 +39,16 @@ func main() {
 	sizeFlag := flag.String("size", "large", "problem size: small or large")
 	validate := flag.Bool("validate", false, "run under FPSpy and validate the scan against the dynamic trace")
 	top := flag.Int("top", 10, "how many inventory entries to print per table")
+	pprofAddr := flag.String("pprof", "", "serve pprof on this address while scanning")
 	flag.Parse()
+	if *pprofAddr != "" {
+		srv, err := obs.Serve(*pprofAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpscan:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+	}
 
 	size := workload.SizeLarge
 	switch *sizeFlag {

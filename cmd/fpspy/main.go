@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/study"
 	"repro/internal/workload"
 )
@@ -47,7 +48,24 @@ func main() {
 	noSpy := flag.Bool("nospy", false, "run without FPSpy attached (baseline)")
 	np := flag.Int("np", 1, "number of MPI ranks to launch")
 	validate := flag.Bool("validate", false, "run the paper's Section 5 validation matrix")
+	metrics := flag.Bool("metrics", false, "collect observability metrics and print a summary after the run")
+	traceOut := flag.String("traceout", "", "write a Chrome trace_event file of the run (implies -metrics)")
+	pprofAddr := flag.String("pprof", "", "serve pprof and /metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	var om *obs.Metrics
+	if *metrics || *traceOut != "" || *pprofAddr != "" {
+		om = obs.New(obs.Options{})
+	}
+	if *pprofAddr != "" {
+		srv, err := obs.Serve(*pprofAddr, om)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpspy:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "fpspy: pprof and /metrics on http://%s\n", srv.Addr)
+	}
 
 	if *validate {
 		runValidation()
@@ -101,7 +119,7 @@ func main() {
 		return
 	}
 
-	res, err := fpspy.Run(w.Build(sz), fpspy.Options{Config: cfg, NoSpy: *noSpy})
+	res, err := fpspy.Run(w.Build(sz), fpspy.Options{Config: cfg, NoSpy: *noSpy, Obs: om})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fpspy:", err)
 		os.Exit(1)
@@ -128,6 +146,32 @@ func main() {
 
 	if *outDir != "" {
 		writeTraces(res.Store, *outDir)
+	}
+	emitObs(om, *traceOut)
+}
+
+// emitObs prints the metrics summary and writes the Chrome trace file,
+// when observability was enabled.
+func emitObs(om *obs.Metrics, traceOut string) {
+	if om == nil {
+		return
+	}
+	fmt.Print(obs.RenderSummary(om.Snapshot()))
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpspy:", err)
+			os.Exit(1)
+		}
+		if err := om.Tracer.ExportChromeTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fpspy:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "fpspy:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d trace events)\n", traceOut, om.Tracer.Emitted()-om.Tracer.Dropped())
 	}
 }
 

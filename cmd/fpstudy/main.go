@@ -8,6 +8,12 @@
 //	fpstudy            # everything, passes parallelized across CPUs
 //	fpstudy -only 9    # a single figure
 //	fpstudy -workers 1 # force fully serial execution
+//	fpstudy -metrics -traceout study.trace.json   # observability on
+//
+// With -metrics (or -traceout/-metricsout/-pprof), every pass shares one
+// observability registry: the final summary reconciles exactly with the
+// emitted trace events, and the figures remain byte-identical to an
+// uninstrumented run.
 package main
 
 import (
@@ -15,16 +21,39 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/study"
 )
 
 func main() {
 	only := flag.String("only", "", "emit a single artifact (6-19 or s6)")
 	workers := flag.Int("workers", 0, "concurrent simulation passes (0 = one per CPU)")
+	metrics := flag.Bool("metrics", false, "collect observability metrics and print a summary")
+	metricsOut := flag.String("metricsout", "", "write the final metrics snapshot as JSON (implies -metrics)")
+	traceOut := flag.String("traceout", "", "write a Chrome trace_event file (implies -metrics)")
+	pprofAddr := flag.String("pprof", "", "serve pprof and /metrics on this address")
 	flag.Parse()
 
 	s := study.NewWithWorkers(*workers)
+	var om *obs.Metrics
+	if *metrics || *metricsOut != "" || *traceOut != "" || *pprofAddr != "" {
+		om = obs.New(obs.Options{TraceCapacity: 1 << 20})
+		s.Obs = om
+		defer emitObs(om, *metricsOut, *traceOut)
+		sampler := obs.StartSelfSampler(om, 10*time.Millisecond)
+		defer sampler.Stop()
+	}
+	if *pprofAddr != "" {
+		srv, err := obs.Serve(*pprofAddr, om)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpstudy:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "fpstudy: pprof and /metrics on http://%s\n", srv.Addr)
+	}
 	gens := map[string]func() (*study.Table, error){
 		"6": s.Figure6, "7": s.Figure7, "8": s.Figure8, "9": s.Figure9,
 		"10": s.Figure10, "11": s.Figure11, "12": s.Figure12, "13": s.Figure13,
@@ -52,5 +81,44 @@ func main() {
 	}
 	for _, t := range tables {
 		fmt.Println(t.Render())
+	}
+}
+
+// emitObs prints the metrics summary and writes the snapshot/trace
+// files after the study completes.
+func emitObs(om *obs.Metrics, metricsOut, traceOut string) {
+	fmt.Print(obs.RenderSummary(om.Snapshot()))
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpstudy:", err)
+			os.Exit(1)
+		}
+		if err := om.Snapshot().WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fpstudy:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "fpstudy:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fpstudy: wrote %s\n", metricsOut)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpstudy:", err)
+			os.Exit(1)
+		}
+		if err := om.Tracer.ExportChromeTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fpstudy:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "fpstudy:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fpstudy: wrote %s (%d trace events)\n",
+			traceOut, om.Tracer.Emitted()-om.Tracer.Dropped())
 	}
 }

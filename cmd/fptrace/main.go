@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/softfloat"
 	"repro/internal/trace"
 )
@@ -34,7 +35,16 @@ type jsonRecord struct {
 func main() {
 	asJSON := flag.Bool("json", false, "emit JSON records")
 	summary := flag.Bool("summary", false, "emit only per-file event summaries")
+	pprofAddr := flag.String("pprof", "", "serve pprof on this address while decoding")
 	flag.Parse()
+	if *pprofAddr != "" {
+		srv, err := obs.Serve(*pprofAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fptrace:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+	}
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: fptrace [-json] [-summary] <file.fpemon>...")
 		os.Exit(2)

@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/softfloat"
 	"repro/internal/trace"
 )
@@ -125,6 +126,11 @@ type Options struct {
 	// in-memory store (e.g. one built with NewStoreWithSink to model
 	// failing trace files).
 	Store *Store
+	// Obs, when non-nil, receives observability data (metrics and trace
+	// events) from the kernel, machine, and spy. Leave nil
+	// (obs.Disabled) for a run with instrumentation compiled out; the
+	// simulated execution is bit-identical either way.
+	Obs *obs.Metrics
 }
 
 // Result is the outcome of running a program under (or without) FPSpy.
@@ -162,6 +168,7 @@ func Run(prog *Program, opts Options) (*Result, error) {
 	if opts.CostModel != nil {
 		k.Cost = *opts.CostModel
 	}
+	k.Obs = opts.Obs
 	store := opts.Store
 	if store == nil {
 		store = core.NewStore()
@@ -171,7 +178,7 @@ func Run(prog *Program, opts Options) (*Result, error) {
 		env[key] = v
 	}
 	if !opts.NoSpy {
-		k.RegisterPreload(core.PreloadName, core.Factory(store))
+		k.RegisterPreload(core.PreloadName, core.FactoryObs(store, opts.Obs))
 		for key, v := range opts.Config.EnvVars() {
 			env[key] = v
 		}

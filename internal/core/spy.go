@@ -6,6 +6,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/kernel"
 	"repro/internal/mxcsr"
+	"repro/internal/obs"
 	"repro/internal/softfloat"
 	"repro/internal/trace"
 )
@@ -44,6 +45,9 @@ type threadState struct {
 	// stormCount/stormStart implement the FPE_STORM watchdog window.
 	stormCount uint64
 	stormStart uint64
+	// protoStart is the tracer timestamp of the SIGFPE that armed the
+	// two-trap protocol; the matching SIGTRAP closes the span.
+	protoStart int64
 	rng        *rand.Rand
 }
 
@@ -71,17 +75,31 @@ type Spy struct {
 	prevFPE, prevTrap, prevTimer *kernel.SigAction
 	// ConfigErr records a configuration parse failure.
 	ConfigErr error
+
+	// om and otr are the (possibly nil) observability hooks: spy-level
+	// counters and the event tracer. Both are nil-safe by construction
+	// and never influence monitoring decisions.
+	om  *obs.SpyMetrics
+	otr *obs.Tracer
 }
 
 // Factory returns the preload object factory for FPSpy, writing traces to
 // store. Register the result with kernel.RegisterPreload(PreloadName, ...).
 func Factory(store *Store) kernel.ObjectFactory {
+	return FactoryObs(store, obs.Disabled)
+}
+
+// FactoryObs is Factory with an observability handle; pass obs.Disabled
+// (or nil) for the uninstrumented behavior.
+func FactoryObs(store *Store, m *obs.Metrics) kernel.ObjectFactory {
 	return func(p *kernel.Process) *kernel.Object {
 		s := &Spy{
 			proc:    p,
 			store:   store,
 			threads: make(map[int]*threadState),
 			fights:  make(map[kernel.Signal]uint64),
+			om:      m.SpyMetricsOrNil(),
+			otr:     m.TracerOrNil(),
 		}
 		return s.object()
 	}
@@ -205,6 +223,10 @@ func (s *Spy) threadInit(k *kernel.Kernel, t *kernel.Task) {
 	ts := &threadState{task: t, samplerOn: true, rng: rand.New(rand.NewSource(int64(t.TID)*7919 + 13))}
 	s.threads[t.TID] = ts
 	t.OnExit = append(t.OnExit, s.threadTeardown)
+	if s.om != nil {
+		s.om.ThreadsMonitored.Inc()
+		s.otr.Instant("fpspy", "thread-init", s.proc.PID, t.TID, "state", uint64(s.state))
+	}
 
 	cpu := &t.M.CPU
 	cpu.MXCSR.ClearFlags()
@@ -330,6 +352,10 @@ func (s *Spy) wrapSignal(sym string) kernel.Symbol {
 				// was default" to the application, and log the fight so
 				// analysis can see how hard the app contested the signal.
 				s.fights[sig]++
+				if s.om != nil {
+					s.om.SignalFights.Inc()
+					s.otr.Instant("fpspy", "signal-fight", s.proc.PID, t.TID, "signal", uint64(sig))
+				}
 				s.store.addEvent(trace.MonitorEvent{
 					Time: t.UserCycles + t.SysCycles,
 					PID:  s.proc.PID, TID: t.TID,
@@ -383,6 +409,10 @@ func (s *Spy) detach(k *kernel.Kernel, t *kernel.Task, reason AbortReason, skipT
 	s.state = StateDetached
 	s.reason = reason
 	s.store.StepAsides++
+	if s.om != nil {
+		s.om.Detaches.Inc()
+		s.otr.Instant("fpspy", "detach", s.proc.PID, t.TID, "from", uint64(from))
+	}
 	s.store.addEvent(trace.MonitorEvent{
 		Time: t.UserCycles + t.SysCycles,
 		PID:  s.proc.PID, TID: t.TID,
@@ -438,6 +468,10 @@ func (s *Spy) demote(k *kernel.Kernel, t *kernel.Task, reason AbortReason) {
 	}
 	s.state = StateAggregate
 	s.reason = reason
+	if s.om != nil {
+		s.om.Demotions.Inc()
+		s.otr.Instant("fpspy", "demote", s.proc.PID, t.TID, "", 0)
+	}
 	s.store.addEvent(trace.MonitorEvent{
 		Time: t.UserCycles + t.SysCycles,
 		PID:  s.proc.PID, TID: t.TID,
@@ -481,6 +515,9 @@ func (s *Spy) onSIGFPE(k *kernel.Kernel, t *kernel.Task, info *kernel.SigInfo, m
 		if s.cfg.Aggressive {
 			// Keep spying: the protocol below re-establishes FPSpy's
 			// masks; just log that we had to re-assert them.
+			if s.om != nil {
+				s.om.Reasserts.Inc()
+			}
 			s.store.addEvent(trace.MonitorEvent{
 				Time: t.UserCycles + t.SysCycles,
 				PID:  s.proc.PID, TID: t.TID,
@@ -516,6 +553,10 @@ func (s *Spy) onSIGFPE(k *kernel.Kernel, t *kernel.Task, info *kernel.SigInfo, m
 
 	ts.faults++
 	s.store.Faults++
+	if s.om != nil {
+		s.om.Faults.Inc()
+		ts.protoStart = s.otr.Now()
+	}
 
 	if !ts.done && (s.cfg.SampleEvery == 0 || ts.faults%s.cfg.SampleEvery == 0) {
 		idx := t.M.Prog.IndexOf(info.Addr)
@@ -539,6 +580,9 @@ func (s *Spy) onSIGFPE(k *kernel.Kernel, t *kernel.Task, info *kernel.SigInfo, m
 		ts.seq++
 		ts.recorded++
 		s.store.Recorded++
+		if s.om != nil {
+			s.om.Records.Inc()
+		}
 		if s.cfg.MaxCount > 0 && ts.recorded >= s.cfg.MaxCount {
 			ts.done = true
 		}
@@ -577,6 +621,16 @@ func (s *Spy) onSIGTRAP(k *kernel.Kernel, t *kernel.Task, info *kernel.SigInfo, 
 	} else {
 		mc.CPU.TF = false
 	}
+	if s.om != nil {
+		// The SIGFPE that armed the protocol opens the span; this trap
+		// closes it — one span per monitored FP event.
+		dur := s.otr.Now() - ts.protoStart
+		if dur < 0 {
+			dur = 0
+		}
+		s.om.ProtocolNS.Observe(uint64(dur))
+		s.otr.Complete("fpspy", "two-trap", s.proc.PID, t.TID, ts.protoStart, dur, "rip", info.Addr)
+	}
 	ts.phase = awaitFPE
 	if !ts.done && ts.samplerOn {
 		mc.CPU.MXCSR.Unmask(s.cfg.ExceptList)
@@ -592,6 +646,9 @@ func (s *Spy) onTimer(k *kernel.Kernel, t *kernel.Task, info *kernel.SigInfo, mc
 		return
 	}
 	ts.samplerOn = !ts.samplerOn
+	if s.om != nil {
+		s.om.TimerFlips.Inc()
+	}
 	var mean uint64
 	if ts.samplerOn {
 		mean = s.cfg.SampleOnUS

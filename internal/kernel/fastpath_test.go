@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/softfloat"
 )
 
@@ -51,10 +52,13 @@ func fastpathWorkload(timerKind TimerKind, interval int64) *isa.Program {
 }
 
 // runFastpathWorkload spawns the workload with the FPSpy-style host
-// SIGFPE/SIGTRAP handlers installed and runs it to completion.
-func runFastpathWorkload(t *testing.T, timerKind TimerKind, interval int64, noFast bool) (*Kernel, *Process, int) {
+// SIGFPE/SIGTRAP handlers installed and runs it to completion. om may be
+// nil (observability off) or a registry to instrument the kernel with;
+// either way the simulation must behave identically.
+func runFastpathWorkload(t *testing.T, timerKind TimerKind, interval int64, noFast bool, om *obs.Metrics) (*Kernel, *Process, int) {
 	t.Helper()
 	k := New()
+	k.Obs = om
 	k.NoFastPath = noFast
 	p, err := k.Spawn(fastpathWorkload(timerKind, interval), 1<<16, nil)
 	if err != nil {
@@ -95,8 +99,8 @@ func TestFastPathMatchesPrecise(t *testing.T) {
 		{TimerReal, 7919},
 	} {
 		kind := tc.kind
-		fk, fp, fev := runFastpathWorkload(t, kind, tc.interval, false)
-		pk, pp, pev := runFastpathWorkload(t, kind, tc.interval, true)
+		fk, fp, fev := runFastpathWorkload(t, kind, tc.interval, false, nil)
+		pk, pp, pev := runFastpathWorkload(t, kind, tc.interval, true, nil)
 
 		if fev != pev {
 			t.Errorf("timer %d: FP events fast=%d precise=%d", kind, fev, pev)

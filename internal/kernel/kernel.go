@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // TaskState is the lifecycle state of a task.
@@ -126,6 +127,13 @@ type Kernel struct {
 	// Inject, when non-nil, enables seeded chaos perturbations (delayed
 	// signal delivery, adversarial scheduling). Nil for normal runs.
 	Inject *Inject
+	// Obs, when non-nil, receives kernel observability: per-signal
+	// delivery counts, fast-path batch statistics, mcontext mutations,
+	// timer fires, scheduler rounds. Nil (obs.Disabled) means every
+	// instrumentation point reduces to a single pointer test; the
+	// instruments never feed back into simulation state, so enabling
+	// them cannot change execution.
+	Obs *obs.Metrics
 
 	nextPID  int
 	nextTID  int
@@ -198,6 +206,9 @@ func (p *Process) allocStack() uint64 {
 }
 
 func (k *Kernel) addTask(p *Process, m *machine.Machine) *Task {
+	if k.Obs != nil {
+		m.Obs = &k.Obs.Machine
+	}
 	t := &Task{TID: k.nextTID, Proc: p, M: m}
 	k.nextTID++
 	p.Tasks = append(p.Tasks, t)
@@ -346,11 +357,13 @@ func (k *Kernel) Run(maxSteps uint64) uint64 {
 		// may permute the snapshot and jitter the timeslice.
 		queue := k.schedOrder(k.runq)
 		var maxTaskCycles uint64
+		var ranTasks uint64
 		for _, t := range queue {
 			if t.State != TaskRunnable || t.Proc.Exited {
 				continue
 			}
 			ran = true
+			ranTasks++
 			before := t.UserCycles + t.SysCycles
 			steps := k.runTask(t, k.schedQuantum())
 			total += steps
@@ -364,6 +377,10 @@ func (k *Kernel) Run(maxSteps uint64) uint64 {
 		k.Cycles += maxTaskCycles
 		if !ran {
 			break
+		}
+		if k.Obs != nil {
+			k.Obs.Kernel.SchedRounds.Inc()
+			k.Obs.Kernel.SchedTasks.Observe(ranTasks)
 		}
 		k.gcRunq()
 	}
@@ -403,6 +420,10 @@ func (k *Kernel) runTask(t *Task, n uint64) uint64 {
 				cycles := clean * k.Cost.Instruction
 				t.UserCycles += cycles
 				k.creditTimers(t, clean, cycles)
+				if k.Obs != nil {
+					k.Obs.Kernel.FastSteps.Add(clean)
+					k.Obs.Kernel.FastBatch.Observe(clean)
+				}
 			}
 			if ev == nil {
 				continue
@@ -424,6 +445,9 @@ func (k *Kernel) runTask(t *Task, n uint64) uint64 {
 func (k *Kernel) completeStep(t *Task, ev machine.Event) {
 	before := t.UserCycles + t.SysCycles
 	t.UserCycles += k.Cost.Instruction
+	if k.Obs != nil {
+		k.Obs.Kernel.PreciseSteps.Inc()
+	}
 	switch e := ev.(type) {
 	case nil:
 	case *machine.FPEvent:

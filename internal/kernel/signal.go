@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/softfloat"
 )
 
@@ -109,10 +110,27 @@ func (k *Kernel) SetSigAction(p *Process, sig Signal, act *SigAction) *SigAction
 // disposition table. info may point into per-task scratch that is
 // reused by the next delivery; handlers must consume it synchronously.
 func (k *Kernel) deliverSignal(t *Task, sig Signal, info *SigInfo) {
+	if k.Obs != nil && sig >= 0 && int(sig) < obs.NumSignals {
+		k.Obs.Kernel.Signals[sig].Inc()
+	}
 	act := t.Proc.Handlers[sig]
 	switch {
 	case act != nil && act.Host != nil:
 		t.UserCycles += k.Cost.SignalHandler
+		if k.Obs != nil {
+			// Observe what the handler does to the writable machine
+			// context — the mechanism FPSpy uses to mask exceptions and
+			// arm single-stepping from user level.
+			beforeMXCSR, beforeTF := t.M.CPU.MXCSR, t.M.CPU.TF
+			act.Host(k, t, info, t.mcontext())
+			if t.M.CPU.MXCSR != beforeMXCSR {
+				k.Obs.Kernel.MCtxMXCSR.Inc()
+			}
+			if t.M.CPU.TF != beforeTF {
+				k.Obs.Kernel.MCtxTF.Inc()
+			}
+			return
+		}
 		act.Host(k, t, info, t.mcontext())
 	case act != nil && act.Guest != 0:
 		t.UserCycles += k.Cost.SignalHandler

@@ -35,6 +35,9 @@ func (k *Kernel) tickTimers(t *Task, cycles uint64) {
 		if tm.remaining <= 1 {
 			tm.armed = false
 			t.SysCycles += k.Cost.TimerIRQ
+			if k.Obs != nil {
+				k.Obs.Kernel.TimerFires[TimerVirtual].Inc()
+			}
 			if !k.delaySignal(t, SIGVTALRM, SigInfo{Signo: SIGVTALRM}) {
 				t.sigInfo = SigInfo{Signo: SIGVTALRM}
 				k.deliverSignal(t, SIGVTALRM, &t.sigInfo)
@@ -47,6 +50,9 @@ func (k *Kernel) tickTimers(t *Task, cycles uint64) {
 		if tm.remaining <= cycles {
 			tm.armed = false
 			t.SysCycles += k.Cost.TimerIRQ
+			if k.Obs != nil {
+				k.Obs.Kernel.TimerFires[TimerReal].Inc()
+			}
 			if !k.delaySignal(t, SIGALRM, SigInfo{Signo: SIGALRM}) {
 				t.sigInfo = SigInfo{Signo: SIGALRM}
 				k.deliverSignal(t, SIGALRM, &t.sigInfo)

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/mxcsr"
+	"repro/internal/obs"
 	"repro/internal/softfloat"
 )
 
@@ -126,6 +127,10 @@ type Machine struct {
 	// faults before execution. This is the Section 3.8 alternative to
 	// TF single-stepping.
 	Breakpoints map[uint64]bool
+	// Obs, when non-nil, receives machine-level observability counts
+	// (guest MXCSR traffic, breakpoint arming). Nil means no
+	// instrumentation; the execution paths are unchanged either way.
+	Obs *obs.MachineMetrics
 
 	// nextIdx caches the instruction index of CPU.RIP, or -1 when
 	// unknown. It is always validated against RIP before use (AddrOf of
@@ -152,6 +157,9 @@ func (m *Machine) SetBreakpoint(addr uint64) {
 		m.Breakpoints = make(map[uint64]bool)
 	}
 	m.Breakpoints[addr] = true
+	if m.Obs != nil {
+		m.Obs.BreakpointsArmed.Inc()
+	}
 }
 
 // ClearBreakpoint restores the instruction at addr.
@@ -439,9 +447,15 @@ func (m *Machine) Step() Event {
 				return m.memFault(addr, ea)
 			}
 			c.MXCSR = mxcsr.Reg(v)
+			if m.Obs != nil {
+				m.Obs.GuestMXCSRWrites.Inc()
+			}
 		case isa.OpSTMXCSR:
 			if !m.store32(ea, uint32(c.MXCSR)) {
 				return m.memFault(addr, ea)
+			}
+			if m.Obs != nil {
+				m.Obs.GuestMXCSRReads.Inc()
 			}
 		}
 

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderSummary formats a snapshot as the final summary table fpmon and
+// the -metrics flags print: sorted counters, gauges, and histogram
+// statistics in fixed-width columns.
+func RenderSummary(s Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "observability summary (uptime %v)\n",
+		time.Duration(s.UptimeNS).Round(time.Microsecond))
+
+	if len(s.Counters) > 0 {
+		b.WriteString("\ncounters\n")
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(&b, "  %-36s %12d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("\ngauges\n")
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(&b, "  %-36s %12d\n", name, s.Gauges[name])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("\nhistograms\n")
+		fmt.Fprintf(&b, "  %-36s %12s %12s %12s %14s\n",
+			"name", "count", "min", "max", "mean")
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			fmt.Fprintf(&b, "  %-36s %12d %12d %12d %14.1f\n",
+				name, h.Count, h.Min, h.Max, h.Mean())
+		}
+	}
+	fmt.Fprintf(&b, "\ntrace: %d emitted, %d dropped\n", s.TraceEmitted, s.TraceDropped)
+	return b.String()
+}
+
+// RenderDashboard formats a snapshot as one refresh frame of fpmon's
+// live dashboard: a compact view of the busiest instruments plus bucket
+// sparklines for the histograms.
+func RenderDashboard(s Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fpmon  uptime=%v  trace=%d/%d dropped\n",
+		time.Duration(s.UptimeNS).Round(time.Millisecond),
+		s.TraceEmitted, s.TraceDropped)
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "  %-36s %12d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "  %-36s %12d\n", name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "  %-36s n=%d min=%d max=%d mean=%.1f %s\n",
+			name, h.Count, h.Min, h.Max, h.Mean(), sparkline(h))
+	}
+	return b.String()
+}
+
+// sparkline renders the histogram buckets as a tiny bar chart.
+func sparkline(h HistogramSnapshot) string {
+	if len(h.Buckets) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var peak uint64
+	for _, bc := range h.Buckets {
+		if bc.N > peak {
+			peak = bc.N
+		}
+	}
+	var sb strings.Builder
+	for _, bc := range h.Buckets {
+		idx := int(bc.N * uint64(len(levels)-1) / peak)
+		sb.WriteRune(levels[idx])
+	}
+	return sb.String()
+}
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

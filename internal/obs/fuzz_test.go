@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzObsTraceExport fuzzes the trace JSON decoder. The invariants:
+// ParseTraceJSON never panics, and any input it accepts re-exports and
+// re-parses to the same events (decode/encode/decode fixpoint).
+func FuzzObsTraceExport(f *testing.F) {
+	tr := NewTracer(8)
+	tr.Instant("fpspy", "fault", 1, 2, "signal", 8)
+	tr.Complete("study", "pass", 0, 0, 10, 20, "cycles", 30)
+	tr.Emit(Event{TS: 40, Phase: PhaseBegin, Cat: "proto", Name: "twotrap", PID: 1, TID: 2})
+	tr.Emit(Event{TS: 50, Phase: PhaseEnd, Cat: "proto", Name: "twotrap", PID: 1, TID: 2})
+	var seed bytes.Buffer
+	if err := tr.ExportJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(`{"events":[],"emitted":0,"dropped":0}`))
+	f.Add([]byte(`{"events":[{"ts":1,"pid":0,"tid":0,"ph":"i","cat":"c","name":"n"}],"emitted":1,"dropped":0}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := ParseTraceJSON(data)
+		if err != nil {
+			return
+		}
+		// Accepted input must survive a re-export/re-parse cycle.
+		re := NewTracer(len(evs) + 1)
+		for _, ev := range evs {
+			re.Emit(ev)
+		}
+		var buf bytes.Buffer
+		if err := re.ExportJSON(&buf); err != nil {
+			t.Fatalf("re-export of accepted input failed: %v", err)
+		}
+		back, err := ParseTraceJSON(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-parse of re-export failed: %v", err)
+		}
+		if len(back) != len(evs) {
+			t.Fatalf("fixpoint length %d != %d", len(back), len(evs))
+		}
+		for i := range evs {
+			if back[i] != evs[i] {
+				t.Fatalf("fixpoint event %d: %+v != %+v", i, back[i], evs[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,233 @@
+// Package obs is the observability layer of the FPSpy reproduction:
+// typed counters, gauges, and histograms with an atomic, allocation-free
+// hot path; a ring-buffered event tracer with spans; and profiling hooks
+// (pprof serving, periodic self-sampling).
+//
+// The design contract is zero overhead when off. Every instrumented
+// subsystem holds a pointer that is nil by default — obs.Disabled — and
+// guards each instrumentation point with a single nil check, so a run
+// without observability executes exactly the instructions it executed
+// before the layer existed: no allocation, no atomics, no branches into
+// this package. The transparency tests (golden study output, fast-path
+// equivalence, allocs/op ceilings) pin that contract down; the
+// instruments themselves never touch simulation state, so enabling them
+// cannot perturb the bit-identical guarantees of the execution engine.
+//
+// Instruments are grouped per subsystem (KernelMetrics, MachineMetrics,
+// SpyMetrics, StudyMetrics, SelfMetrics) and pre-resolved into struct
+// fields rather than looked up by name, so the enabled hot path is one
+// atomic add with no map access. Snapshot flattens the groups into a
+// name-keyed view for export, dashboards, and reconciliation tests.
+package obs
+
+import (
+	"time"
+)
+
+// Metrics is the top-level observability handle: the full typed
+// instrument registry plus the event tracer. A nil *Metrics (the
+// package-level Disabled) is the no-op implementation — every accessor
+// below is nil-safe and yields nil group pointers, which consumers
+// interpret as "instrumentation compiled out".
+type Metrics struct {
+	// Kernel instruments signal delivery, fast-path batching, timers,
+	// and scheduling inside internal/kernel.
+	Kernel KernelMetrics
+	// Machine instruments guest-visible machine events in
+	// internal/machine (MXCSR stores/loads, breakpoint stubbing).
+	Machine MachineMetrics
+	// Spy instruments FPSpy itself: faults, records, the two-trap
+	// protocol, degradations.
+	Spy SpyMetrics
+	// Study instruments the pass scheduler in internal/study.
+	Study StudyMetrics
+	// Self holds the self-sampler's periodic observations of the
+	// process (goroutines, heap, worker-pool occupancy).
+	Self SelfMetrics
+	// Tracer is the ring-buffered event tracer. Always non-nil on an
+	// enabled Metrics.
+	Tracer *Tracer
+
+	start time.Time
+}
+
+// Options configures New.
+type Options struct {
+	// TraceCapacity is the tracer ring size in events; 0 selects
+	// DefaultTraceCapacity.
+	TraceCapacity int
+}
+
+// DefaultTraceCapacity is the tracer ring size when Options does not
+// specify one.
+const DefaultTraceCapacity = 1 << 16
+
+// Disabled is the no-op observability instance: a nil handle whose
+// accessors all return nil, so instrumented code takes its zero-cost
+// branch everywhere.
+var Disabled *Metrics
+
+// New creates an enabled Metrics with all instruments at zero.
+func New(o Options) *Metrics {
+	cap := o.TraceCapacity
+	if cap <= 0 {
+		cap = DefaultTraceCapacity
+	}
+	return &Metrics{
+		Tracer: NewTracer(cap),
+		start:  time.Now(),
+	}
+}
+
+// Enabled reports whether this handle records anything.
+func (m *Metrics) Enabled() bool { return m != nil }
+
+// KernelMetricsOrNil returns the kernel instrument group, or nil when
+// observability is disabled.
+func (m *Metrics) KernelMetricsOrNil() *KernelMetrics {
+	if m == nil {
+		return nil
+	}
+	return &m.Kernel
+}
+
+// MachineMetricsOrNil returns the machine instrument group, or nil when
+// observability is disabled.
+func (m *Metrics) MachineMetricsOrNil() *MachineMetrics {
+	if m == nil {
+		return nil
+	}
+	return &m.Machine
+}
+
+// SpyMetricsOrNil returns the FPSpy instrument group, or nil when
+// observability is disabled.
+func (m *Metrics) SpyMetricsOrNil() *SpyMetrics {
+	if m == nil {
+		return nil
+	}
+	return &m.Spy
+}
+
+// StudyMetricsOrNil returns the study instrument group, or nil when
+// observability is disabled.
+func (m *Metrics) StudyMetricsOrNil() *StudyMetrics {
+	if m == nil {
+		return nil
+	}
+	return &m.Study
+}
+
+// TracerOrNil returns the event tracer, or nil when observability is
+// disabled.
+func (m *Metrics) TracerOrNil() *Tracer {
+	if m == nil {
+		return nil
+	}
+	return m.Tracer
+}
+
+// Uptime is the time since New.
+func (m *Metrics) Uptime() time.Duration {
+	if m == nil {
+		return 0
+	}
+	return time.Since(m.start)
+}
+
+// NumSignals bounds the per-signal delivery counter array; Linux x86-64
+// signal numbers used by the simulated kernel are all below it.
+const NumSignals = 32
+
+// KernelMetrics instruments internal/kernel. The indices of TimerFires
+// follow kernel.TimerKind: real = 0, virtual = 1.
+type KernelMetrics struct {
+	// Signals counts deliveries by signal number.
+	Signals [NumSignals]Counter
+	// MCtxMXCSR counts host-handler deliveries that mutated MXCSR
+	// through the writable machine context.
+	MCtxMXCSR Counter
+	// MCtxTF counts host-handler deliveries that toggled the trap flag
+	// through the machine context.
+	MCtxTF Counter
+	// FastBatch is the distribution of cleanly retired fast-path batch
+	// lengths (instructions per RunStraight call).
+	FastBatch Histogram
+	// FastSteps counts instructions retired on the batched fast path.
+	FastSteps Counter
+	// PreciseSteps counts instructions retired on the precise
+	// step-at-a-time path (including the eventful step ending a batch).
+	PreciseSteps Counter
+	// TimerFires counts interval-timer expiries by kernel.TimerKind.
+	TimerFires [2]Counter
+	// SchedRounds counts scheduler rounds (full run-queue sweeps).
+	SchedRounds Counter
+	// SchedTasks is the distribution of runnable tasks per round.
+	SchedTasks Histogram
+}
+
+// MachineMetrics instruments internal/machine.
+type MachineMetrics struct {
+	// GuestMXCSRWrites counts ldmxcsr executions — the guest rewriting
+	// floating point control state behind FPSpy's interposition.
+	GuestMXCSRWrites Counter
+	// GuestMXCSRReads counts stmxcsr executions.
+	GuestMXCSRReads Counter
+	// BreakpointsArmed counts instructions stubbed by the Section 3.8
+	// breakpoint protocol.
+	BreakpointsArmed Counter
+}
+
+// SpyMetrics instruments FPSpy's monitoring core.
+type SpyMetrics struct {
+	// Faults counts SIGFPEs the spy handled in individual mode.
+	Faults Counter
+	// Records counts trace records written.
+	Records Counter
+	// ProtocolNS is the host-time distribution of the SIGFPE -> SIGTRAP
+	// two-trap protocol span, in nanoseconds.
+	ProtocolNS Histogram
+	// Demotions counts individual -> aggregate transitions.
+	Demotions Counter
+	// Detaches counts transitions into the detached state.
+	Detaches Counter
+	// Reasserts counts aggressive-mode MXCSR re-assertions.
+	Reasserts Counter
+	// SignalFights counts absorbed handler registrations.
+	SignalFights Counter
+	// ThreadsMonitored counts threads that entered monitoring.
+	ThreadsMonitored Counter
+	// TimerFlips counts temporal-sampler phase flips.
+	TimerFlips Counter
+}
+
+// StudyMetrics instruments the pass scheduler.
+type StudyMetrics struct {
+	// PassRequests counts cache lookups (run calls).
+	PassRequests Counter
+	// PassesExecuted counts passes actually simulated (cache misses).
+	PassesExecuted Counter
+	// PassErrors counts executed passes that failed.
+	PassErrors Counter
+	// PassWallCycles is the distribution of simulated wall cycles per
+	// executed pass.
+	PassWallCycles Histogram
+	// PassHostNS is the distribution of host nanoseconds per executed
+	// pass.
+	PassHostNS Histogram
+	// WorkersBusy is the number of worker slots currently simulating.
+	WorkersBusy Gauge
+}
+
+// SelfMetrics holds the self-sampler's periodic process observations.
+type SelfMetrics struct {
+	// Samples counts sampler ticks.
+	Samples Counter
+	// Goroutines is the last sampled goroutine count.
+	Goroutines Gauge
+	// HeapAllocBytes is the last sampled live-heap size.
+	HeapAllocBytes Gauge
+	// WorkersBusySamples is the sampled distribution of the study
+	// worker-pool occupancy — the scheduler-utilization profile.
+	WorkersBusySamples Histogram
+}

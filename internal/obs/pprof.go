@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Server is a running observability HTTP endpoint: the standard pprof
+// handlers plus /metrics (snapshot JSON) and /trace (Chrome trace).
+type Server struct {
+	// Addr is the bound listen address (useful when Serve was given
+	// ":0").
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve binds addr and serves pprof and metrics endpoints in the
+// background until Close. The handler set:
+//
+//	/debug/pprof/...  net/http/pprof profiles
+//	/metrics          Snapshot JSON
+//	/trace            Chrome trace_event JSON
+func Serve(addr string, m *Metrics) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := m.Snapshot().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := m.TracerOrNil().ExportChromeTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: pprof listen %s: %w", addr, err)
+	}
+	s := &Server{Addr: ln.Addr().String(), srv: &http.Server{Handler: mux}, ln: ln}
+	go s.srv.Serve(ln) //nolint:errcheck // background server; Close shuts it down
+	return s, nil
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// SelfSampler periodically observes the host process — goroutine count,
+// live heap, study worker-pool occupancy — into m.Self, and emits one
+// instant trace event per tick so profiles line up with the event
+// timeline.
+type SelfSampler struct {
+	stop chan struct{}
+	done sync.WaitGroup
+}
+
+// StartSelfSampler begins sampling m every interval (minimum 1ms). It
+// returns nil when m is disabled.
+func StartSelfSampler(m *Metrics, every time.Duration) *SelfSampler {
+	if m == nil {
+		return nil
+	}
+	if every < time.Millisecond {
+		every = time.Millisecond
+	}
+	s := &SelfSampler{stop: make(chan struct{})}
+	s.done.Add(1)
+	go func() {
+		defer s.done.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+				sampleSelf(m)
+			}
+		}
+	}()
+	return s
+}
+
+// sampleSelf takes one observation.
+func sampleSelf(m *Metrics) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	busy := m.Study.WorkersBusy.Load()
+	if busy < 0 {
+		busy = 0
+	}
+	m.Self.Samples.Inc()
+	m.Self.Goroutines.Set(int64(runtime.NumGoroutine()))
+	m.Self.HeapAllocBytes.Set(int64(ms.HeapAlloc))
+	m.Self.WorkersBusySamples.Observe(uint64(busy))
+	m.Tracer.Instant("self", "sample", 0, 0, "workersBusy", uint64(busy))
+}
+
+// Stop halts the sampler and waits for its goroutine to exit. Safe on a
+// nil sampler.
+func (s *SelfSampler) Stop() {
+	if s == nil {
+		return
+	}
+	close(s.stop)
+	s.done.Wait()
+}

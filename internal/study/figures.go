@@ -74,36 +74,44 @@ func appRows() []string {
 }
 
 // suiteUnion runs a whole suite under a config and ORs the event sets.
-func (s *Study) suiteUnion(suite workload.Suite, cfg fpspy.Config, size workload.Size, events func(*fpspy.Result) softfloat.Flags) (softfloat.Flags, error) {
+func (s *Study) suiteUnion(suite workload.Suite, cfg fpspy.Config, size workload.Size, events func(*fpspy.Result) (softfloat.Flags, error)) (softfloat.Flags, error) {
 	var union softfloat.Flags
 	for _, w := range workload.BySuite(suite) {
 		res, err := s.run(w.Meta.Name, cfg, false, size)
 		if err != nil {
 			return 0, err
 		}
-		union |= events(res)
+		f, err := events(res)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", w.Meta.Name, err)
+		}
+		union |= f
 	}
 	return union, nil
 }
 
-func aggregateEvents(res *fpspy.Result) softfloat.Flags {
+func aggregateEvents(res *fpspy.Result) (softfloat.Flags, error) {
 	var f softfloat.Flags
 	for _, a := range res.Aggregates() {
 		f |= a.Flags
 	}
-	return f
+	return f, nil
 }
 
-func recordEvents(res *fpspy.Result) softfloat.Flags {
+func recordEvents(res *fpspy.Result) (softfloat.Flags, error) {
+	recs, err := res.Records()
+	if err != nil {
+		return 0, err
+	}
 	var f softfloat.Flags
-	for _, rec := range res.MustRecords() {
+	for _, rec := range recs {
 		f |= rec.Event
 	}
-	return f
+	return f, nil
 }
 
 // eventMatrix builds a Figure 9/11/14-style event matrix.
-func (s *Study) eventMatrix(id, title string, cfg fpspy.Config, includeInexact bool, events func(*fpspy.Result) softfloat.Flags) (*Table, error) {
+func (s *Study) eventMatrix(id, title string, cfg fpspy.Config, includeInexact bool, events func(*fpspy.Result) (softfloat.Flags, error)) (*Table, error) {
 	cols := eventColumns
 	if !includeInexact {
 		cols = cols[:5]
@@ -127,7 +135,7 @@ func (s *Study) eventMatrix(id, title string, cfg fpspy.Config, includeInexact b
 			var res *fpspy.Result
 			res, err = s.run(row, cfg, false, s.Size)
 			if err == nil {
-				flags = events(res)
+				flags, err = events(res)
 			}
 		}
 		if err != nil {
@@ -317,7 +325,10 @@ func (s *Study) Figure10() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		flags := aggregateEvents(res)
+		flags, err := aggregateEvents(res)
+		if err != nil {
+			return nil, err
+		}
 		cells := []string{w.Meta.Name}
 		for _, c := range eventColumns {
 			cells = append(cells, mark(flags&c.Flag != 0))
@@ -366,7 +377,11 @@ func (s *Study) Figure12() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	recs := analysis.FilterEvent(res.MustRecords(), fpspy.FlagInvalid)
+	all, err := res.Records()
+	if err != nil {
+		return nil, fmt.Errorf("enzo: %w", err)
+	}
+	recs := analysis.FilterEvent(all, fpspy.FlagInvalid)
 	pts := analysis.RateSeries(recs, 50e-6, ClockHz) // 50us bins
 	return rateTable("Figure 12", "Rate of Invalid events over time in ENZO (rising with refinement)", pts), nil
 }
@@ -377,7 +392,11 @@ func (s *Study) Figure13() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	recs := analysis.FilterEvent(res.MustRecords(), fpspy.FlagDivideByZero)
+	all, err := res.Records()
+	if err != nil {
+		return nil, fmt.Errorf("laghos: %w", err)
+	}
+	recs := analysis.FilterEvent(all, fpspy.FlagDivideByZero)
 	pts := analysis.RateSeries(recs, 10e-6, ClockHz) // 10us bins show the bursts
 	return rateTable("Figure 13", "Bursts of DivideByZero events in LAGHOS", pts), nil
 }
@@ -413,7 +432,11 @@ func (s *Study) Figure15() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		recs := analysis.FilterEvent(res.MustRecords(), fpspy.FlagInexact)
+		all, err := res.Records()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Meta.Name, err)
+		}
+		recs := analysis.FilterEvent(all, fpspy.FlagInexact)
 		// Rate relative to the application's unencumbered duration, as
 		// the paper's count/runtime pairs imply.
 		wallSec := float64(base.WallCycles) / ClockHz
@@ -443,7 +466,11 @@ func (s *Study) Figure16() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		recs := analysis.FilterEvent(res.MustRecords(), fpspy.FlagInexact)
+		all, err := res.Records()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Meta.Name, err)
+		}
+		recs := analysis.FilterEvent(all, fpspy.FlagInexact)
 		pts := analysis.Cumulative(recs, ClockHz)
 		end := float64(res.WallCycles) / ClockHz
 		at := func(frac float64) uint64 {
@@ -488,7 +515,11 @@ func (s *Study) codeRecords() (map[string][]trace.Record, error) {
 			if err != nil {
 				return nil, err
 			}
-			recs = append(recs, res.MustRecords()...)
+			rs, err := res.Records()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			recs = append(recs, rs...)
 		}
 		out[name] = recs
 	}
@@ -616,7 +647,11 @@ func (s *Study) Section6() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			recs = append(recs, res.MustRecords()...)
+			rs, err := res.Records()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", w.Meta.Name, err)
+			}
+			recs = append(recs, rs...)
 		}
 		if len(recs) == 0 {
 			continue

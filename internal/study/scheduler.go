@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	fpspy "repro"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -22,6 +24,13 @@ type Study struct {
 	// additionally runs PARSEC at SizeSmall, as the paper's Section 5.3
 	// problem-size note describes).
 	Size workload.Size
+
+	// Obs, when non-nil, is shared by every pass: the scheduler records
+	// pass counts, durations, and worker occupancy, and each pass's
+	// kernel and spy feed the same registry. Nil (the default) leaves
+	// all instrumentation compiled out; the figures are byte-identical
+	// either way.
+	Obs *obs.Metrics
 
 	// sem bounds the number of passes simulating at once.
 	sem chan struct{}
@@ -86,19 +95,45 @@ func (s *Study) entry(key passKey) *passEntry {
 // deduplicated. The name "miniaero-calibrated" selects the
 // density-calibrated Miniaero build used by the overhead experiment.
 func (s *Study) run(name string, cfg fpspy.Config, noSpy bool, size workload.Size) (*fpspy.Result, error) {
+	if s.Obs != nil {
+		s.Obs.Study.PassRequests.Inc()
+	}
 	e := s.entry(passKey{name: name, cfg: cfg, noSpy: noSpy, size: size})
 	e.once.Do(func() {
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
-		e.res, e.err = runPass(name, cfg, noSpy, size)
+		if s.Obs == nil {
+			e.res, e.err = runPass(name, cfg, noSpy, size, nil)
+			return
+		}
+		st := &s.Obs.Study
+		st.WorkersBusy.Add(1)
+		spanStart := s.Obs.Tracer.Now()
+		hostStart := time.Now()
+		e.res, e.err = runPass(name, cfg, noSpy, size, s.Obs)
+		hostNS := time.Since(hostStart).Nanoseconds()
+		st.WorkersBusy.Add(-1)
+		st.PassesExecuted.Inc()
+		if e.err != nil {
+			st.PassErrors.Inc()
+		}
+		if e.res != nil {
+			st.PassWallCycles.Observe(e.res.WallCycles)
+		}
+		st.PassHostNS.Observe(uint64(hostNS))
+		var spyFlag uint64
+		if !noSpy {
+			spyFlag = 1
+		}
+		s.Obs.Tracer.Complete("study", "pass:"+name, 0, 0, spanStart, hostNS, "spy", spyFlag)
 	})
 	return e.res, e.err
 }
 
 // runPass is the uncached pass body: build the workload, run it under
-// the spy. It touches no Study state, which is what makes concurrent
-// passes safe.
-func runPass(name string, cfg fpspy.Config, noSpy bool, size workload.Size) (*fpspy.Result, error) {
+// the spy. It touches no Study state (the shared obs handle is
+// internally synchronized), which is what makes concurrent passes safe.
+func runPass(name string, cfg fpspy.Config, noSpy bool, size workload.Size, m *obs.Metrics) (*fpspy.Result, error) {
 	var build func(workload.Size) *isa.Program
 	if name == "miniaero-calibrated" {
 		build = workload.BuildMiniaeroCalibrated
@@ -109,9 +144,20 @@ func runPass(name string, cfg fpspy.Config, noSpy bool, size workload.Size) (*fp
 		}
 		build = w.Build
 	}
-	res, err := fpspy.Run(build(size), fpspy.Options{Config: cfg, NoSpy: noSpy})
+	res, err := fpspy.Run(build(size), fpspy.Options{Config: cfg, NoSpy: noSpy, Obs: m})
+	return vetPass(name, res, err)
+}
+
+// vetPass validates a completed pass before it enters the cache. A pass
+// whose trace flushes failed must not be cached as a success: every
+// figure assembled from it would silently use a truncated record
+// stream.
+func vetPass(name string, res *fpspy.Result, err error) (*fpspy.Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if res.TraceErr != nil {
+		return nil, fmt.Errorf("%s: trace flush: %w", name, res.TraceErr)
 	}
 	return res, nil
 }
