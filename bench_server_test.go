@@ -1,0 +1,107 @@
+package fpspy_test
+
+// Service-path benchmarks: the full HTTP round trip through fpspyd's
+// submit/result API, measured cold (every submission is a distinct
+// content address and runs a pass) and cached (every submission after
+// the first attaches to the settled cache entry).
+//
+//	go test -run '^$' -bench BenchmarkServerSubmit -benchtime 5x -benchmem .
+//
+// Reference numbers live in BENCH_pr5.json.
+
+import (
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	fpspy "repro"
+	"repro/internal/isa"
+	"repro/internal/jobs"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// benchServerJob captures a small faulting guest as a submission clone.
+func benchServerJob(name string, env map[string]string) *jobs.Job {
+	b := fpspy.NewProgram(name)
+	b.Movi(isa.R1, int64(math.Float64bits(1)))
+	b.Movqx(isa.X0, isa.R1)
+	b.Movi(isa.R1, int64(math.Float64bits(3)))
+	b.Movqx(isa.X1, isa.R1)
+	for i := 0; i < 8; i++ {
+		b.FP2(isa.OpDIVSD, isa.X2, isa.X0, isa.X1)
+	}
+	b.Hlt()
+	return jobs.Capture(name, b.Build(), env, 4<<20)
+}
+
+func benchDaemon(b *testing.B) *client.Client {
+	b.Helper()
+	srv, err := server.New(server.Options{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	b.Cleanup(func() {
+		ts.Close()
+		srv.Shutdown() //nolint:errcheck // bench teardown
+	})
+	return client.New(ts.URL, "bench")
+}
+
+// BenchmarkServerSubmit measures the cold path: each iteration submits
+// a clone with a unique environment (a fresh content address), so every
+// op is decode + hash + queue + one full monitored pass + NDJSON result
+// stream over HTTP.
+func BenchmarkServerSubmit(b *testing.B) {
+	c := benchDaemon(b)
+	cfg := fpspy.Config{Mode: fpspy.ModeIndividual}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job := benchServerJob("bench", map[string]string{"ITER": fmt.Sprint(i)})
+		resp, err := c.Submit(job, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Result(resp.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkServerSubmitCached measures the warm path: the first
+// submission runs the pass, every timed iteration resubmits the
+// identical clone and streams the cached result. This is the per-client
+// cost when the content-addressed cache absorbs the work.
+func BenchmarkServerSubmitCached(b *testing.B) {
+	c := benchDaemon(b)
+	cfg := fpspy.Config{Mode: fpspy.ModeIndividual}
+	job := benchServerJob("bench-cached", nil)
+	resp, err := c.Submit(job, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Result(resp.ID); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := c.Submit(job, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.CacheHit {
+			b.Fatal("warm resubmission missed the cache")
+		}
+		if _, err := c.Result(resp.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}

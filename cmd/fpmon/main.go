@@ -8,16 +8,23 @@
 //	fpmon [-size small|large] [-interval 250ms] <workload>
 //	fpmon -study [-workers N]      # monitor the full study's passes
 //	fpmon -snapshot metrics.json   # render a saved -metricsout snapshot
+//	fpmon -url http://host:port    # poll a remote daemon's /metrics
 //
-// The same snapshot JSON is served live on -pprof's /metrics endpoint,
-// so `fpstudy -pprof :6060` plus `curl :6060/metrics | fpmon -snapshot
-// /dev/stdin` is the remote equivalent.
+// The same snapshot JSON is served live on -pprof's /metrics endpoint
+// and on fpspyd's /metrics, so -url turns fpmon into the remote live
+// dashboard for a running daemon: it polls the snapshot every
+// -interval, redraws, and prints the final summary when interrupted
+// (or after -polls refreshes).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"os/signal"
+	"strings"
 	"time"
 
 	fpspy "repro"
@@ -29,6 +36,8 @@ import (
 
 func main() {
 	snapshotPath := flag.String("snapshot", "", "render a saved metrics snapshot JSON file and exit")
+	remoteURL := flag.String("url", "", "poll a remote daemon's /metrics snapshot instead of running anything")
+	polls := flag.Int("polls", 0, "with -url, stop after this many refreshes (0 = until interrupted)")
 	runStudy := flag.Bool("study", false, "monitor the full study's passes instead of one workload")
 	workers := flag.Int("workers", 0, "study worker pool size (0 = one per CPU)")
 	size := flag.String("size", "large", "problem size: small or large")
@@ -47,6 +56,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(obs.RenderSummary(snap))
+		return
+	}
+	if *remoteURL != "" {
+		if err := pollRemote(*remoteURL, *interval, *polls, *noDash); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -118,6 +133,77 @@ func main() {
 		fatal(runErr)
 	}
 	fmt.Print(obs.RenderSummary(om.Snapshot()))
+}
+
+// metricsURL normalizes a -url value to the /metrics endpoint: a bare
+// host:port gains the http scheme, and the path is appended unless the
+// caller already points at a snapshot route.
+func metricsURL(raw string) string {
+	if !strings.Contains(raw, "://") {
+		raw = "http://" + raw
+	}
+	if strings.HasSuffix(raw, "/metrics") {
+		return raw
+	}
+	return strings.TrimRight(raw, "/") + "/metrics"
+}
+
+// fetchSnapshot scrapes one remote snapshot.
+func fetchSnapshot(url string) (obs.Snapshot, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return obs.Snapshot{}, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	return obs.ParseSnapshot(data)
+}
+
+// pollRemote is the -url mode: the live dashboard over a remote
+// daemon's /metrics snapshots. It refreshes every interval until the
+// poll budget is spent or the user interrupts, then prints the final
+// summary of the last snapshot it saw.
+func pollRemote(raw string, interval time.Duration, polls int, noDash bool) error {
+	url := metricsURL(raw)
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	defer signal.Stop(sigc)
+
+	var last obs.Snapshot
+	seen := 0
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		snap, err := fetchSnapshot(url)
+		if err != nil {
+			return err
+		}
+		last = snap
+		seen++
+		if !noDash {
+			fmt.Print("\033[H\033[2J")
+			fmt.Printf("fpmon -url %s (poll %d)\n", url, seen)
+			fmt.Print(obs.RenderDashboard(snap))
+		}
+		if polls > 0 && seen >= polls {
+			break
+		}
+		select {
+		case <-sigc:
+			fmt.Println()
+			fmt.Print(obs.RenderSummary(last))
+			return nil
+		case <-tick.C:
+		}
+	}
+	fmt.Print(obs.RenderSummary(last))
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,95 @@
+// Command fpspyd is the study-as-a-service daemon: it serves the
+// fpspy HTTP/JSON API (POST /v1/jobs, GET /v1/jobs/{id},
+// GET /v1/jobs/{id}/result, GET /v1/figures, GET /metrics) backed by a
+// sharded bounded job queue, a content-addressed result cache, and
+// per-client rate limiting, replaying submission clones on the study
+// scheduler's worker pool.
+//
+// Usage:
+//
+//	fpspyd [-addr 127.0.0.1:8765] [-workers N] [-shards 4] [-queue 64]
+//	       [-rate R -burst B] [-state queue.gob] [-addrfile FILE]
+//
+// SIGINT/SIGTERM drain gracefully: in-flight passes complete, queued
+// jobs persist to -state, and a restarted daemon resumes them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8765", "listen address (use :0 for an ephemeral port)")
+	addrFile := flag.String("addrfile", "", "write the bound address to this file (for scripts using :0)")
+	workers := flag.Int("workers", 0, "study worker pool size (0 = one per CPU)")
+	shards := flag.Int("shards", 4, "job queue shards")
+	queue := flag.Int("queue", 64, "queue depth per shard")
+	rate := flag.Float64("rate", 0, "per-client submissions per second (0 = unlimited)")
+	burst := flag.Int("burst", 8, "rate limiter burst")
+	stateFile := flag.String("state", "", "persist queued jobs here across restarts")
+	flag.Parse()
+
+	om := obs.New(obs.Options{TraceCapacity: 1 << 18})
+	srv, err := server.New(server.Options{
+		Workers:    *workers,
+		Shards:     *shards,
+		QueueDepth: *queue,
+		RatePerSec: *rate,
+		Burst:      *burst,
+		StateFile:  *stateFile,
+		Obs:        om,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "fpspyd: serving on http://%s\n", bound)
+
+	httpSrv := &http.Server{Handler: srv}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "fpspyd: %v, draining\n", sig)
+	case err := <-done:
+		fatal(err)
+	}
+
+	persisted, err := srv.Shutdown()
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv.Close() //nolint:errcheck // going down anyway
+	if *stateFile != "" {
+		fmt.Fprintf(os.Stderr, "fpspyd: persisted %d queued job(s) to %s\n", persisted, *stateFile)
+	} else if persisted > 0 {
+		fmt.Fprintf(os.Stderr, "fpspyd: dropped %d queued job(s) (no -state file)\n", persisted)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpspyd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+package jobs_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/jobs"
+	"repro/internal/workload"
+)
+
+// rawEncode gob-encodes a Job without Capture/Encode validation, to
+// forge the hostile clones Decode must reject.
+func rawEncode(t testing.TB, j *jobs.Job) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(j); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestDecodeRejectsNilProgram(t *testing.T) {
+	blob := rawEncode(t, &jobs.Job{Name: "hostile", MemBytes: 1 << 20})
+	if _, err := jobs.Decode(blob); !errors.Is(err, jobs.ErrNoProgram) {
+		t.Fatalf("Decode(nil program) = %v, want ErrNoProgram", err)
+	}
+	empty := rawEncode(t, &jobs.Job{Name: "empty", Program: &isa.Program{Name: "empty"}})
+	if _, err := jobs.Decode(empty); !errors.Is(err, jobs.ErrNoProgram) {
+		t.Fatalf("Decode(empty program) = %v, want ErrNoProgram", err)
+	}
+}
+
+func TestDecodeRejectsAbsurdMemBytes(t *testing.T) {
+	w, err := workload.ByName("nas-ep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := w.Build(workload.SizeSmall)
+	for _, mem := range []int{-1, jobs.MaxMemBytes + 1} {
+		blob := rawEncode(t, &jobs.Job{Name: "hog", Program: prog, MemBytes: mem})
+		if _, err := jobs.Decode(blob); !errors.Is(err, jobs.ErrMemBytes) {
+			t.Fatalf("Decode(MemBytes=%d) = %v, want ErrMemBytes", mem, err)
+		}
+	}
+	// The boundary itself is legal.
+	blob := rawEncode(t, &jobs.Job{Name: "max", Program: prog, MemBytes: jobs.MaxMemBytes})
+	if _, err := jobs.Decode(blob); err != nil {
+		t.Fatalf("Decode(MemBytes=MaxMemBytes) = %v, want ok", err)
+	}
+}
+
+// FuzzJobRoundTrip fuzzes the clone codec boundary: any bytes Decode
+// accepts must describe a valid clone that re-encodes and re-decodes to
+// the same value, and everything else must fail with an error rather
+// than a panic or a poisoned clone.
+func FuzzJobRoundTrip(f *testing.F) {
+	w, err := workload.ByName("nas-ep")
+	if err != nil {
+		f.Fatal(err)
+	}
+	job := jobs.Capture("seed", w.Build(workload.SizeSmall),
+		map[string]string{"OMP_NUM_THREADS": "2"}, 4<<20)
+	blob, err := job.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add(rawEncode(f, &jobs.Job{Name: "hostile", MemBytes: 1 << 62}))
+	f.Add([]byte("not a clone"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		j, err := jobs.Decode(data)
+		if err != nil {
+			return
+		}
+		if verr := j.Validate(); verr != nil {
+			t.Fatalf("Decode accepted an invalid clone: %v", verr)
+		}
+		re, err := j.Encode()
+		if err != nil {
+			t.Fatalf("re-encode of decoded clone failed: %v", err)
+		}
+		back, err := jobs.Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		// Gob is not byte-stable (map order), so compare values.
+		if back.Name != j.Name || back.MemBytes != j.MemBytes {
+			t.Fatalf("round trip changed metadata: %+v vs %+v", back, j)
+		}
+		if !reflect.DeepEqual(back.Program, j.Program) {
+			t.Fatal("round trip changed the program image")
+		}
+		if !reflect.DeepEqual(back.Env, j.Env) && (len(back.Env) != 0 || len(j.Env) != 0) {
+			t.Fatalf("round trip changed env: %v vs %v", back.Env, j.Env)
+		}
+	})
+}

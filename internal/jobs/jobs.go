@@ -9,11 +9,30 @@ package jobs
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 
 	fpspy "repro"
 	"repro/internal/isa"
+	"repro/internal/obs"
 )
+
+// Typed validation errors for clones arriving from untrusted bytes
+// (Decode). Both are wrapped, so callers match with errors.Is.
+var (
+	// ErrNoProgram reports a clone with no program image (or an empty
+	// one): replaying it would crash the kernel spawn path.
+	ErrNoProgram = errors.New("jobs: clone has no program image")
+	// ErrMemBytes reports a clone whose memory request is negative or
+	// absurd — beyond MaxMemBytes.
+	ErrMemBytes = errors.New("jobs: clone memory request out of range")
+)
+
+// MaxMemBytes bounds the memory request Decode accepts (4 GiB). The
+// simulated machine allocates guest memory eagerly, so an absurd
+// MemBytes from a hostile encoding must be rejected before it reaches
+// RunProduction or Replay.
+const MaxMemBytes = 4 << 30
 
 // Job is a submission clone: everything needed to re-run a submission
 // bit-identically — the binary (program image) and the environment the
@@ -48,13 +67,32 @@ func (j *Job) Encode() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Decode reconstructs a submission clone.
+// Decode reconstructs a submission clone. The input is untrusted (it
+// typically arrives over the fpspyd wire), so the decoded clone is
+// validated before it is returned: garbage that happens to gob-decode
+// does not flow onward into RunProduction or Replay.
 func Decode(data []byte) (*Job, error) {
 	var j Job
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&j); err != nil {
 		return nil, fmt.Errorf("jobs: decode: %w", err)
 	}
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
 	return &j, nil
+}
+
+// Validate checks the structural invariants a replayable clone must
+// hold. Decode applies it to everything it accepts; Capture output is
+// valid by construction when given a real program.
+func (j *Job) Validate() error {
+	if j.Program == nil || len(j.Program.Insts) == 0 {
+		return fmt.Errorf("%w (clone %q)", ErrNoProgram, j.Name)
+	}
+	if j.MemBytes < 0 || j.MemBytes > MaxMemBytes {
+		return fmt.Errorf("%w: %d (clone %q)", ErrMemBytes, j.MemBytes, j.Name)
+	}
+	return nil
 }
 
 // RunProduction executes the job exactly as submitted: no FPSpy, no
@@ -71,9 +109,17 @@ func (j *Job) RunProduction() (*fpspy.Result, error) {
 // configuration — typically aggressive individual-mode tracing that
 // production could never afford.
 func (j *Job) Replay(cfg fpspy.Config) (*fpspy.Result, error) {
+	return j.ReplayObs(cfg, nil)
+}
+
+// ReplayObs is Replay with an observability registry threaded through
+// the run — the fpspyd daemon uses it so offline passes feed the same
+// /metrics surface as the serving path. A nil registry is Replay.
+func (j *Job) ReplayObs(cfg fpspy.Config, m *obs.Metrics) (*fpspy.Result, error) {
 	return fpspy.Run(j.Program, fpspy.Options{
 		Config:   cfg,
 		MemBytes: j.MemBytes,
 		Env:      j.Env,
+		Obs:      m,
 	})
 }

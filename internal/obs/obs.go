@@ -41,6 +41,8 @@ type Metrics struct {
 	Spy SpyMetrics
 	// Study instruments the pass scheduler in internal/study.
 	Study StudyMetrics
+	// Server instruments the fpspyd daemon in internal/server.
+	Server ServerMetrics
 	// Self holds the self-sampler's periodic observations of the
 	// process (goroutines, heap, worker-pool occupancy).
 	Self SelfMetrics
@@ -116,6 +118,15 @@ func (m *Metrics) StudyMetricsOrNil() *StudyMetrics {
 		return nil
 	}
 	return &m.Study
+}
+
+// ServerMetricsOrNil returns the daemon instrument group, or nil when
+// observability is disabled.
+func (m *Metrics) ServerMetricsOrNil() *ServerMetrics {
+	if m == nil {
+		return nil
+	}
+	return &m.Server
 }
 
 // TracerOrNil returns the event tracer, or nil when observability is
@@ -217,6 +228,37 @@ type StudyMetrics struct {
 	PassHostNS Histogram
 	// WorkersBusy is the number of worker slots currently simulating.
 	WorkersBusy Gauge
+}
+
+// ServerMetrics instruments the fpspyd daemon (internal/server): the
+// submission path, the content-addressed result cache, backpressure
+// decisions, and per-endpoint request latency.
+type ServerMetrics struct {
+	// Submissions counts POST /v1/jobs requests that passed admission
+	// (rate limiting and drain checks).
+	Submissions Counter
+	// CacheHits counts submissions answered by the content-addressed
+	// result cache — including attaches to an identical in-flight pass.
+	CacheHits Counter
+	// CacheMisses counts submissions that scheduled a new study pass.
+	// Every miss corresponds to exactly one executed pass.
+	CacheMisses Counter
+	// RateLimited counts submissions rejected 429 by the per-client
+	// token bucket.
+	RateLimited Counter
+	// Shed counts submissions rejected 503 — full shard queue or drain.
+	Shed Counter
+	// JobsCompleted and JobsFailed count finalized jobs by outcome.
+	JobsCompleted Counter
+	JobsFailed    Counter
+	// QueueDepth is the number of jobs waiting in shard queues.
+	QueueDepth Gauge
+	// SubmitNS, StatusNS, ResultNS, and FiguresNS are per-endpoint
+	// request latency distributions in host nanoseconds.
+	SubmitNS  Histogram
+	StatusNS  Histogram
+	ResultNS  Histogram
+	FiguresNS Histogram
 }
 
 // SelfMetrics holds the self-sampler's periodic process observations.

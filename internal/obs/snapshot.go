@@ -56,6 +56,12 @@ const (
 	NameStudyPassErrors     = "study.pass.errors"
 	NameKernelFastSteps     = "kernel.fast.steps"
 	NameKernelPreciseSteps  = "kernel.precise.steps"
+	NameServerSubmissions   = "server.submissions"
+	NameServerCacheHits     = "server.cache.hits"
+	NameServerCacheMisses   = "server.cache.misses"
+	NameServerRateLimited   = "server.rate-limited"
+	NameServerShed          = "server.shed"
+	NameServerQueueDepth    = "server.queue-depth"
 )
 
 // KernelSignalCounterName returns the snapshot key of the delivery
@@ -128,6 +134,20 @@ func (m *Metrics) Snapshot() Snapshot {
 	hist("study.pass.wall-cycles", &st.PassWallCycles)
 	hist("study.pass.host-ns", &st.PassHostNS)
 	gauge("study.workers-busy", &st.WorkersBusy)
+
+	sv := &m.Server
+	counter(NameServerSubmissions, &sv.Submissions)
+	counter(NameServerCacheHits, &sv.CacheHits)
+	counter(NameServerCacheMisses, &sv.CacheMisses)
+	counter(NameServerRateLimited, &sv.RateLimited)
+	counter(NameServerShed, &sv.Shed)
+	counter("server.jobs.completed", &sv.JobsCompleted)
+	counter("server.jobs.failed", &sv.JobsFailed)
+	gauge(NameServerQueueDepth, &sv.QueueDepth)
+	hist("server.http.submit-ns", &sv.SubmitNS)
+	hist("server.http.status-ns", &sv.StatusNS)
+	hist("server.http.result-ns", &sv.ResultNS)
+	hist("server.http.figures-ns", &sv.FiguresNS)
 
 	self := &m.Self
 	counter("self.samples", &self.Samples)

@@ -1,0 +1,294 @@
+// Package client is the typed Go client for the fpspyd HTTP/JSON API.
+// cmd/fpctl, the end-to-end suite, and the benchmarks drive the daemon
+// through it.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	fpspy "repro"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+// Client talks to one fpspyd daemon.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8765".
+	BaseURL string
+	// ID identifies this client for rate limiting and accounting; it is
+	// sent as the X-FPSpy-Client header when non-empty.
+	ID string
+	// HTTPClient overrides the transport (default http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+// New builds a client for the daemon at baseURL.
+func New(baseURL, id string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), ID: id}
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Msg is the daemon's error string.
+	Msg string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("fpspyd: %s (HTTP %d)", e.Msg, e.Status)
+}
+
+// RateLimitError is a 429 rejection with the daemon's backoff hint.
+type RateLimitError struct {
+	// RetryAfter is the daemon's Retry-After value.
+	RetryAfter time.Duration
+	// Msg is the daemon's error string.
+	Msg string
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("fpspyd: %s (retry after %v)", e.Msg, e.RetryAfter)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes a JSON response into out (when
+// non-nil), translating non-2xx statuses into typed errors.
+func (c *Client) do(method, path string, body, out any) error {
+	var rd *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.ID != "" {
+		req.Header.Set(server.ClientHeader, c.ID)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// checkStatus converts an error response into the matching typed error,
+// consuming the body.
+func checkStatus(resp *http.Response) error {
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return nil
+	}
+	var eb struct {
+		Error string `json:"error"`
+	}
+	json.NewDecoder(resp.Body).Decode(&eb) //nolint:errcheck // best-effort detail
+	if resp.StatusCode == http.StatusTooManyRequests {
+		secs, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if secs < 1 {
+			secs = 1
+		}
+		return &RateLimitError{RetryAfter: time.Duration(secs) * time.Second, Msg: eb.Error}
+	}
+	return &APIError{Status: resp.StatusCode, Msg: eb.Error}
+}
+
+// Submit captures-and-ships a clone: it encodes job and posts it with
+// the given FPSpy configuration.
+func (c *Client) Submit(job *jobs.Job, cfg fpspy.Config) (*server.SubmitResponse, error) {
+	blob, err := job.Encode()
+	if err != nil {
+		return nil, err
+	}
+	return c.SubmitBlob(job.Name, blob, cfg)
+}
+
+// SubmitBlob posts an already-encoded clone (e.g. read from a file
+// written by fpctl capture).
+func (c *Client) SubmitBlob(name string, blob []byte, cfg fpspy.Config) (*server.SubmitResponse, error) {
+	var resp server.SubmitResponse
+	err := c.do(http.MethodPost, "/v1/jobs",
+		server.SubmitRequest{Name: name, Clone: blob, Config: cfg}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Status fetches a job's lifecycle state.
+func (c *Client) Status(id string) (*server.StatusResponse, error) {
+	var st server.StatusResponse
+	if err := c.do(http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Watch polls a job until it reaches a terminal state.
+func (c *Client) Watch(id string, interval time.Duration) (*server.StatusResponse, error) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State == server.StateDone || st.State == server.StateFailed {
+			return st, nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+// Result is a fully-read result stream.
+type Result struct {
+	// Lines are the raw monitor-log lines in stream order.
+	Lines []string
+	// Events is the parsed monitor log (trace.ParseMonitorLog over
+	// Lines) — bit-identical to the in-process store's event list.
+	Events []trace.MonitorEvent
+	// Summary is the stream's closing record.
+	Summary server.Summary
+}
+
+// StreamResult consumes a job's NDJSON result stream, invoking fn for
+// every line as it arrives, and returns the final summary. The call
+// blocks until the job settles server-side.
+func (c *Client) StreamResult(id string, fn func(server.ResultLine) error) (*server.Summary, error) {
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.ID != "" {
+		req.Header.Set(server.ClientHeader, c.ID)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return nil, err
+	}
+	var summary *server.Summary
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var line server.ResultLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return nil, fmt.Errorf("client: bad result line: %w", err)
+		}
+		if fn != nil {
+			if err := fn(line); err != nil {
+				return nil, err
+			}
+		}
+		if line.Type == "summary" && line.Summary != nil {
+			summary = line.Summary
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if summary == nil {
+		return nil, fmt.Errorf("client: result stream for %s ended without a summary", id)
+	}
+	return summary, nil
+}
+
+// Result reads a job's whole result: the monitor log (raw and parsed)
+// plus the summary.
+func (c *Client) Result(id string) (*Result, error) {
+	var res Result
+	sum, err := c.StreamResult(id, func(line server.ResultLine) error {
+		if line.Type == "event" {
+			res.Lines = append(res.Lines, line.Line)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Summary = *sum
+	res.Events, err = trace.ParseMonitorLog([]byte(strings.Join(res.Lines, "\n")))
+	if err != nil {
+		return nil, fmt.Errorf("client: monitor log re-parse: %w", err)
+	}
+	return &res, nil
+}
+
+// Figures lists the figure IDs the daemon can compute.
+func (c *Client) Figures() ([]string, error) {
+	var out struct {
+		Figures []string `json:"figures"`
+	}
+	if err := c.do(http.MethodGet, "/v1/figures", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Figures, nil
+}
+
+// Figure computes one aggregate study table on the daemon.
+func (c *Client) Figure(id string) (*server.FigureResponse, error) {
+	var fig server.FigureResponse
+	if err := c.do(http.MethodGet, "/v1/figures?id="+id, nil, &fig); err != nil {
+		return nil, err
+	}
+	return &fig, nil
+}
+
+// Metrics scrapes the daemon's /metrics snapshot.
+func (c *Client) Metrics() (obs.Snapshot, error) {
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return obs.Snapshot{}, err
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return obs.Snapshot{}, err
+	}
+	return obs.ParseSnapshot(buf.Bytes())
+}

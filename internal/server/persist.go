@@ -1,0 +1,104 @@
+package server
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	fpspy "repro"
+	"repro/internal/jobs"
+)
+
+// persistedJob is the on-disk form of one queued-but-unstarted
+// submission: the clone bytes exactly as submitted (jobs.Encode
+// output), plus the daemon-side identity needed to resume it under the
+// same job ID.
+type persistedJob struct {
+	ID     string
+	Name   string
+	Client string
+	Blob   []byte
+	Config fpspy.Config
+}
+
+// saveState writes the pending queue to Options.StateFile atomically
+// (temp file + rename), so a crash mid-write leaves either the old
+// queue or the new one, never a torn file. An empty queue still writes
+// a file: a later restart must not resurrect an older, staler queue.
+func (s *Server) saveState(pend []*jobRec) error {
+	list := make([]persistedJob, 0, len(pend))
+	for _, rec := range pend {
+		list = append(list, persistedJob{
+			ID: rec.id, Name: rec.name, Client: rec.client,
+			Blob: rec.blob, Config: rec.cfg,
+		})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(list); err != nil {
+		return fmt.Errorf("server: encode queue state: %w", err)
+	}
+	tmp := s.opts.StateFile + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("server: write queue state: %w", err)
+	}
+	if err := os.Rename(tmp, s.opts.StateFile); err != nil {
+		return fmt.Errorf("server: commit queue state: %w", err)
+	}
+	return nil
+}
+
+// loadState re-admits a persisted queue during New. Each clone passes
+// through jobs.Decode (so a corrupted state file cannot smuggle an
+// invalid program past validation), keeps its original job ID, and is
+// re-enqueued through the normal cache/singleflight path. The state
+// file is consumed: it is removed once its jobs are re-admitted.
+func (s *Server) loadState() error {
+	data, err := os.ReadFile(s.opts.StateFile)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("server: read queue state: %w", err)
+	}
+	var list []persistedJob
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&list); err != nil {
+		return fmt.Errorf("server: decode queue state %s: %w", filepath.Base(s.opts.StateFile), err)
+	}
+	for _, p := range list {
+		j, err := jobs.Decode(p.Blob)
+		if err != nil {
+			return fmt.Errorf("server: persisted job %s: %w", p.ID, err)
+		}
+		rec := &jobRec{
+			id: p.ID, name: p.Name, client: p.Client, key: CacheKey(j, p.Config),
+			blob: p.Blob, cfg: p.Config, job: j, submitted: s.now(), state: StateQueued,
+		}
+		var seq int
+		if n, _ := fmt.Sscanf(p.ID, "job-%06d", &seq); n == 1 && seq > s.seq {
+			s.seq = seq
+		}
+		if e, ok := s.cache[rec.key]; ok {
+			rec.cacheHit = true
+			rec.entry = e
+			e.waiters = append(e.waiters, rec)
+			s.jobs[rec.id] = rec
+			continue
+		}
+		e := &cacheEntry{key: rec.key, done: make(chan struct{}), primary: rec}
+		rec.entry = e
+		select {
+		case s.shardOf(rec.key) <- rec:
+			s.cache[rec.key] = e
+			s.jobs[rec.id] = rec
+			if sv := s.obs.ServerMetricsOrNil(); sv != nil {
+				sv.QueueDepth.Add(1)
+			}
+		default:
+			return fmt.Errorf("server: queue depth %d too small for persisted state (%d jobs)",
+				s.opts.QueueDepth, len(list))
+		}
+	}
+	return os.Remove(s.opts.StateFile)
+}

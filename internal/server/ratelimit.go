@@ -1,0 +1,61 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// limiter is the per-client admission control: each client identity
+// owns a token bucket holding up to burst tokens, refilled continuously
+// at rate tokens per second. A submission that finds the bucket empty
+// is rejected with the delay until the next whole token — the value the
+// HTTP layer surfaces as Retry-After.
+type limiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newLimiter builds a limiter, or returns nil (admit everything) when
+// rate is non-positive.
+func newLimiter(rate float64, burst int, now func() time.Time) *limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{rate: rate, burst: float64(burst), now: now, buckets: map[string]*bucket{}}
+}
+
+// allow consumes one token for client, or reports how long the client
+// must wait for one. A nil limiter admits everything.
+func (l *limiter) allow(client string) (bool, time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.buckets[client]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	}
+	b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}

@@ -1,0 +1,475 @@
+// Package server implements fpspyd: the study-as-a-service daemon for
+// the paper's Figure 1b "cloning in production" deployment. A scheduler
+// captures each submission as a serializable clone (internal/jobs);
+// fpspyd accepts those clones over an HTTP/JSON API, replays them
+// offline under arbitrary FPSpy configurations on the study scheduler's
+// bounded worker pool, and streams the resulting monitor log back.
+//
+// Scaling comes from three mechanisms:
+//
+//   - a sharded, bounded job queue: submissions hash to a shard by
+//     content address, each shard dispatches in FIFO order, and a full
+//     shard sheds load with 503 + Retry-After instead of queueing
+//     without bound;
+//   - a content-addressed result cache with singleflight semantics
+//     (the same discipline as the study scheduler's passKey cache):
+//     identical submissions — same program image, environment, memory
+//     request, and configuration — run exactly one pass no matter how
+//     many clients submit them or how concurrently they arrive;
+//   - per-client token-bucket rate limiting with 429 + Retry-After.
+//
+// Shutdown drains: in-flight passes run to completion, new submissions
+// are rejected 503, and queued-but-unstarted jobs are persisted via
+// jobs.Encode so a restarted daemon resumes them.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sync"
+	"time"
+
+	fpspy "repro"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/study"
+	"repro/internal/trace"
+)
+
+// State names a job's position in its lifecycle.
+type State string
+
+const (
+	// StateQueued: admitted, waiting for a worker (or for an identical
+	// in-flight pass it attached to).
+	StateQueued State = "queued"
+	// StateRunning: its pass is executing on the worker pool.
+	StateRunning State = "running"
+	// StateDone: finished; the result is streamable.
+	StateDone State = "done"
+	// StateFailed: its pass returned an error.
+	StateFailed State = "failed"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers sizes the study worker pool (0 = one per CPU). Ignored
+	// when Study is supplied.
+	Workers int
+	// Shards is the number of queue shards (default 4).
+	Shards int
+	// QueueDepth bounds each shard's queue (default 64). A submission
+	// arriving at a full shard is shed with 503.
+	QueueDepth int
+	// RatePerSec enables per-client token-bucket rate limiting at this
+	// many submissions per second (0 = unlimited).
+	RatePerSec float64
+	// Burst is the token bucket capacity (default 8).
+	Burst int
+	// StateFile, when set, persists queued-but-unstarted jobs across a
+	// Shutdown/New cycle.
+	StateFile string
+	// Obs, when non-nil, receives daemon metrics (queue depth, cache
+	// hit/miss, shed counters, per-endpoint latency) and is served on
+	// /metrics. The same registry is threaded through every pass.
+	Obs *obs.Metrics
+	// Study, when non-nil, is the shared pass scheduler; the daemon
+	// otherwise creates its own with Workers workers.
+	Study *study.Study
+
+	// now overrides the clock (tests).
+	now func() time.Time
+}
+
+// Server is a running fpspyd instance. It is an http.Handler; callers
+// mount it on a listener (cmd/fpspyd) or an httptest server.
+type Server struct {
+	opts  Options
+	study *study.Study
+	obs   *obs.Metrics
+	lim   *limiter
+	mux   *http.ServeMux
+	now   func() time.Time
+
+	shards      []chan *jobRec
+	stopc       chan struct{}
+	dispatchers sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*jobRec
+	cache    map[string]*cacheEntry
+	seq      int
+	draining bool
+
+	// testBeforeRun, when set, is called by a dispatcher after a job
+	// enters StateRunning and before its pass executes (tests gate here
+	// to hold a pass in flight).
+	testBeforeRun func(*jobRec)
+}
+
+// jobRec is the daemon's view of one submission. Mutable fields are
+// guarded by Server.mu.
+type jobRec struct {
+	id        string
+	name      string
+	client    string
+	key       string
+	blob      []byte // encoded clone, for persistence
+	cfg       fpspy.Config
+	job       *jobs.Job
+	cacheHit  bool
+	submitted time.Time
+
+	state State
+	errs  string
+	entry *cacheEntry
+}
+
+// cacheEntry is one singleflight cell of the content-addressed result
+// cache. The primary submission executes the pass; identical
+// submissions attach as waiters and are finalized together. done is
+// closed exactly once, after out/err are valid.
+type cacheEntry struct {
+	key     string
+	done    chan struct{}
+	started bool // a dispatcher picked the primary up (guarded by mu)
+	settled bool // out/err valid (guarded by mu)
+	out     *Outcome
+	err     error
+	primary *jobRec
+	waiters []*jobRec
+}
+
+// Outcome is the cached result of one executed pass: everything the
+// result stream serves, with no reference to the (large) kernel state.
+type Outcome struct {
+	// Events is the monitor log in event order.
+	Events []trace.MonitorEvent
+	// Steps, WallCycles, and ExitCode summarize the run.
+	Steps      uint64
+	WallCycles uint64
+	ExitCode   int
+	// EventSet is the OR of all observed condition codes (MXCSR layout).
+	EventSet uint64
+	// Records and Aggregates count the captured trace records.
+	Records    int
+	Aggregates int
+}
+
+// New builds and starts a Server: dispatchers are running and the
+// handler is ready to mount. When Options.StateFile names a queue
+// persisted by a previous Shutdown, its jobs are re-admitted before the
+// first request is served.
+func New(o Options) (*Server, error) {
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	now := o.now
+	if now == nil {
+		now = time.Now
+	}
+	st := o.Study
+	if st == nil {
+		st = study.NewWithWorkers(o.Workers)
+	}
+	if st.Obs == nil {
+		st.Obs = o.Obs
+	}
+	s := &Server{
+		opts:   o,
+		study:  st,
+		obs:    o.Obs,
+		lim:    newLimiter(o.RatePerSec, o.Burst, now),
+		now:    now,
+		shards: make([]chan *jobRec, o.Shards),
+		stopc:  make(chan struct{}),
+		jobs:   map[string]*jobRec{},
+		cache:  map[string]*cacheEntry{},
+	}
+	for i := range s.shards {
+		s.shards[i] = make(chan *jobRec, o.QueueDepth)
+	}
+	s.buildMux()
+	if o.StateFile != "" {
+		if err := s.loadState(); err != nil {
+			return nil, err
+		}
+	}
+	for i := range s.shards {
+		s.dispatchers.Add(1)
+		go s.dispatch(s.shards[i])
+	}
+	return s, nil
+}
+
+// Study exposes the shared pass scheduler (the figures endpoint and
+// tests use it).
+func (s *Server) Study() *study.Study { return s.study }
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// shardOf maps a cache key to its queue shard, so identical submissions
+// always contend on the same FIFO.
+func (s *Server) shardOf(key string) chan *jobRec {
+	h := fnv.New32a()
+	h.Write([]byte(key)) //nolint:errcheck // hash.Hash never errors
+	return s.shards[int(h.Sum32())%len(s.shards)]
+}
+
+// errDraining and errQueueFull classify submission rejections for the
+// HTTP layer.
+var (
+	errDraining  = errors.New("server: draining, not accepting submissions")
+	errQueueFull = errors.New("server: shard queue full")
+)
+
+// submit admits one submission: validate the clone, consult the cache,
+// and either finalize immediately (hit on a settled entry), attach to
+// an in-flight identical pass, or enqueue a new pass. It returns the
+// job record and whether the submission was served from cache.
+func (s *Server) submit(client, name string, blob []byte, cfg fpspy.Config) (*jobRec, error) {
+	// Drain check first: a draining daemon answers 503 regardless of
+	// what the submission contains. Re-checked under the lock below.
+	if s.Draining() {
+		if sv := s.obs.ServerMetricsOrNil(); sv != nil {
+			sv.Shed.Inc()
+		}
+		return nil, errDraining
+	}
+	j, err := jobs.Decode(blob)
+	if err != nil {
+		return nil, err
+	}
+	if name == "" {
+		name = j.Name
+	}
+	key := CacheKey(j, cfg)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		if sv := s.obs.ServerMetricsOrNil(); sv != nil {
+			sv.Shed.Inc()
+		}
+		return nil, errDraining
+	}
+	s.seq++
+	rec := &jobRec{
+		id:        fmt.Sprintf("job-%06d", s.seq),
+		name:      name,
+		client:    client,
+		key:       key,
+		blob:      blob,
+		cfg:       cfg,
+		job:       j,
+		submitted: s.now(),
+		state:     StateQueued,
+	}
+	sv := s.obs.ServerMetricsOrNil()
+	if e, ok := s.cache[key]; ok {
+		// Cache hit: the pass is settled, in flight, or queued. Either
+		// way this submission never runs.
+		rec.cacheHit = true
+		rec.entry = e
+		if sv != nil {
+			sv.Submissions.Inc()
+			sv.CacheHits.Inc()
+		}
+		if e.settled {
+			finalizeLocked(rec, e, sv)
+		} else {
+			e.waiters = append(e.waiters, rec)
+		}
+		s.jobs[rec.id] = rec
+		return rec, nil
+	}
+
+	e := &cacheEntry{key: key, done: make(chan struct{}), primary: rec}
+	rec.entry = e
+	select {
+	case s.shardOf(key) <- rec:
+		s.cache[key] = e
+		s.jobs[rec.id] = rec
+		if sv != nil {
+			sv.Submissions.Inc()
+			sv.CacheMisses.Inc()
+			sv.QueueDepth.Add(1)
+		}
+		return rec, nil
+	default:
+		if sv != nil {
+			sv.Shed.Inc()
+		}
+		return nil, errQueueFull
+	}
+}
+
+// dispatch is one shard's dispatcher: it pulls jobs in FIFO order and
+// runs each to completion before taking the next, so Shutdown's
+// dispatchers.Wait() doubles as the in-flight drain. The leading
+// non-blocking stop check makes drains deterministic: once stopc is
+// closed, no further queued job is started even if the queue is ready.
+func (s *Server) dispatch(q chan *jobRec) {
+	defer s.dispatchers.Done()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		default:
+		}
+		select {
+		case <-s.stopc:
+			return
+		case rec := <-q:
+			if sv := s.obs.ServerMetricsOrNil(); sv != nil {
+				sv.QueueDepth.Add(-1)
+			}
+			s.runJob(rec)
+		}
+	}
+}
+
+// runJob executes one primary submission's pass on the shared worker
+// pool and settles its cache entry.
+func (s *Server) runJob(rec *jobRec) {
+	s.mu.Lock()
+	rec.state = StateRunning
+	rec.entry.started = true
+	hook := s.testBeforeRun
+	s.mu.Unlock()
+	if hook != nil {
+		hook(rec)
+	}
+	var out *Outcome
+	var err error
+	s.study.Exec(func() {
+		out, err = executePass(rec.job, rec.cfg, s.obs)
+	})
+	s.settle(rec.entry, out, err)
+}
+
+// executePass replays one clone under the given configuration and
+// reduces the result to its cacheable outcome. It applies the same vet
+// the study scheduler applies: a pass whose trace flushes failed is an
+// error, not a truncated success.
+func executePass(j *jobs.Job, cfg fpspy.Config, m *obs.Metrics) (*Outcome, error) {
+	res, err := j.ReplayObs(cfg, m)
+	if err != nil {
+		return nil, err
+	}
+	if res.TraceErr != nil {
+		return nil, fmt.Errorf("trace flush: %w", res.TraceErr)
+	}
+	recs, err := res.Records()
+	if err != nil {
+		return nil, fmt.Errorf("record decode: %w", err)
+	}
+	return &Outcome{
+		Events:     res.Store.MonitorEvents(),
+		Steps:      res.Steps,
+		WallCycles: res.WallCycles,
+		ExitCode:   res.ExitCode,
+		EventSet:   uint64(res.EventSet()),
+		Records:    len(recs),
+		Aggregates: len(res.Aggregates()),
+	}, nil
+}
+
+// settle publishes a pass outcome: the entry's primary and every waiter
+// finalize together, then done is closed so result streams unblock.
+func (s *Server) settle(e *cacheEntry, out *Outcome, err error) {
+	s.mu.Lock()
+	e.out, e.err = out, err
+	e.settled = true
+	sv := s.obs.ServerMetricsOrNil()
+	finalizeLocked(e.primary, e, sv)
+	for _, w := range e.waiters {
+		finalizeLocked(w, e, sv)
+	}
+	e.waiters = nil
+	s.mu.Unlock()
+	close(e.done)
+}
+
+// finalizeLocked moves rec to its terminal state from a settled entry.
+// Caller holds s.mu.
+func finalizeLocked(rec *jobRec, e *cacheEntry, sv *obs.ServerMetrics) {
+	if e.err != nil {
+		rec.state = StateFailed
+		rec.errs = e.err.Error()
+		if sv != nil {
+			sv.JobsFailed.Inc()
+		}
+		return
+	}
+	rec.state = StateDone
+	if sv != nil {
+		sv.JobsCompleted.Inc()
+	}
+}
+
+// Shutdown drains the daemon: new submissions are rejected 503 with
+// Retry-After, dispatchers stop pulling work, every in-flight pass runs
+// to completion, and queued-but-unstarted jobs (primaries still in
+// shard queues plus waiters attached to them) are persisted to
+// Options.StateFile via their encoded clones. It returns the number of
+// jobs persisted.
+func (s *Server) Shutdown() (int, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return 0, errors.New("server: already shut down")
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	close(s.stopc)
+	// Dispatchers run jobs synchronously: once they have all returned,
+	// every started pass has settled.
+	s.dispatchers.Wait()
+
+	s.mu.Lock()
+	var pend []*jobRec
+	drained := 0
+	for _, q := range s.shards {
+	drain:
+		for {
+			select {
+			case rec := <-q:
+				pend = append(pend, rec)
+				drained++
+			default:
+				break drain
+			}
+		}
+	}
+	// Waiters attached to a never-started entry are queued-but-unstarted
+	// submissions too; their entry is removed so a restarted daemon
+	// re-creates it.
+	for key, e := range s.cache {
+		if !e.started && !e.settled {
+			pend = append(pend, e.waiters...)
+			e.waiters = nil
+			delete(s.cache, key)
+		}
+	}
+	if sv := s.obs.ServerMetricsOrNil(); sv != nil && drained > 0 {
+		sv.QueueDepth.Add(int64(-drained))
+	}
+	s.mu.Unlock()
+
+	if s.opts.StateFile == "" {
+		return len(pend), nil
+	}
+	return len(pend), s.saveState(pend)
+}

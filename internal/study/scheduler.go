@@ -79,6 +79,20 @@ func NewWithWorkers(n int) *Study {
 // Workers reports the worker pool size.
 func (s *Study) Workers() int { return cap(s.sem) }
 
+// Exec runs fn on the study's bounded worker pool, blocking until a
+// worker slot is free and counting occupancy like a pass. External
+// schedulers (the fpspyd daemon in internal/server) use it to share the
+// study's concurrency budget instead of growing a second pool.
+func (s *Study) Exec(fn func()) {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	if s.Obs != nil {
+		s.Obs.Study.WorkersBusy.Add(1)
+		defer s.Obs.Study.WorkersBusy.Add(-1)
+	}
+	fn()
+}
+
 // entry returns the cache cell for key, creating it under the lock.
 func (s *Study) entry(key passKey) *passEntry {
 	s.mu.Lock()
