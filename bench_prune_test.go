@@ -1,0 +1,98 @@
+package fpspy_test
+
+import (
+	"testing"
+
+	fpspy "repro"
+	"repro/internal/isa"
+	"repro/internal/obs"
+)
+
+// buildQuietProgram returns a guest whose inner loop is entirely exact
+// arithmetic on constants — every loop FP site is statically provable
+// never-trap — followed by two genuine events (divide-by-zero, invalid)
+// so individual mode still has something to trace. This is the
+// best-case shape for trap-site pruning: the abstract interpreter
+// proves the loop quiet and the machine retires it with native
+// arithmetic instead of the soft-FPU.
+func buildQuietProgram(n int) *fpspy.Program {
+	b := fpspy.NewProgram("quiet")
+	consts := b.Float64s(1.0, 2.0, 0.5, 0.0)
+	b.Movi(isa.R1, int64(consts))
+	b.Fld(isa.X0, isa.R1, 0)  // 1.0
+	b.Fld(isa.X1, isa.R1, 8)  // 2.0
+	b.Fld(isa.X6, isa.R1, 16) // 0.5
+	b.Fld(isa.X7, isa.R1, 24) // 0.0
+	b.Movi(isa.R2, 0)
+	b.Movi(isa.R3, int64(n))
+	loop := b.Label("loop")
+	b.Bind(loop)
+	b.FP2(isa.OpADDSD, isa.X2, isa.X0, isa.X1) // 1+2 = 3, exact
+	b.FP2(isa.OpMULSD, isa.X3, isa.X2, isa.X6) // 3*0.5 = 1.5, exact
+	b.FP2(isa.OpSUBSD, isa.X4, isa.X3, isa.X0) // 1.5-1 = 0.5, exact
+	b.FP2(isa.OpMINSD, isa.X5, isa.X4, isa.X1) // min(0.5,2), exact
+	b.Addi(isa.R2, isa.R2, 1)
+	b.Blt(isa.R2, isa.R3, loop)
+	b.FP2(isa.OpDIVSD, isa.X2, isa.X0, isa.X7) // 1/0: divide by zero
+	b.FP2(isa.OpDIVSD, isa.X3, isa.X7, isa.X7) // 0/0: invalid
+	b.Hlt()
+	return b.Build()
+}
+
+// BenchmarkSpyCorePrune measures the individual-mode run of the
+// quiet-heavy guest with static trap-site pruning on (default) and off
+// (FPE_NOPRUNE, the ablation). The corpus study shows real workloads
+// are inexact-dominated with few prunable sites, so this isolates the
+// mechanism's ceiling: how much the native-arithmetic quiet path saves
+// per proven-quiet FP retire versus the soft-FPU.
+func BenchmarkSpyCorePrune(b *testing.B) {
+	prog := buildQuietProgram(200000)
+
+	// Sanity: the analysis must actually prune the loop body, and the
+	// run must still capture the two real events.
+	m := obs.New(obs.Options{})
+	res, err := fpspy.Run(prog, fpspy.Options{
+		Config:   fpspy.Config{Mode: fpspy.ModeIndividual},
+		MemBytes: 2 << 20,
+		Obs:      m,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Store.Recorded < 2 {
+		b.Fatalf("recorded %d events, want >= 2", res.Store.Recorded)
+	}
+	if pruned := m.Prune.SitesPruned.Load(); pruned < 4 {
+		b.Fatalf("pruned %d sites, want the 4 loop sites", pruned)
+	}
+	if m.Machine.QuietSteps.Load() == 0 {
+		b.Fatal("no quiet retires despite pruned sites")
+	}
+
+	for _, bc := range []struct {
+		name    string
+		noPrune bool
+	}{
+		{"pruned", false},
+		{"noprune", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := fpspy.Run(prog, fpspy.Options{
+					Config: fpspy.Config{
+						Mode:    fpspy.ModeIndividual,
+						NoPrune: bc.noPrune,
+					},
+					MemBytes: 2 << 20,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Store.Recorded < 2 {
+					b.Fatal("events lost")
+				}
+			}
+		})
+	}
+}

@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	fpanalyze [-forms] [-addrs] [-rate BIN_US] [-log FILE.fplog] [<file.fpemon>...]
+//	fpanalyze [-forms] [-addrs] [-rate BIN_US] [-log FILE.fplog]
+//	          [-absint WORKLOAD [-size small|large]] [<file.fpemon>...]
+//
+// With -absint the per-address rank table is cross-referenced against
+// the abstract interpreter's static verdicts for the named workload (the
+// static counterpart of the paper's Figure 19), and any dynamically
+// raised condition at a statically never-trap site fails the run.
 package main
 
 import (
@@ -26,6 +32,8 @@ func main() {
 	addrs := flag.Bool("addrs", true, "rank instruction addresses")
 	rateBin := flag.Float64("rate", 0, "emit an events/s time series with this bin size in microseconds")
 	logPath := flag.String("log", "", "also report a robustness monitor log (.fplog)")
+	absintW := flag.String("absint", "", "cross-reference the address ranks against static verdicts for this workload")
+	absintSize := flag.String("size", "large", "problem size for -absint: small or large")
 	pprofAddr := flag.String("pprof", "", "serve pprof on this address while analyzing")
 	flag.Parse()
 	if *pprofAddr != "" {
@@ -101,6 +109,11 @@ func main() {
 		fmt.Printf("\nevent rate (%gus bins):\n", *rateBin)
 		for _, p := range pts {
 			fmt.Printf("  %10.2fus %12.0f events/s\n", p.TimeSec*1e6, p.EventsPerSec)
+		}
+	}
+	if *absintW != "" {
+		if !reportAbsint(*absintW, *absintSize, recs) {
+			os.Exit(1)
 		}
 	}
 }

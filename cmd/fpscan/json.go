@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+
+	"repro/internal/binscan"
+	"repro/internal/binscan/absint"
+	"repro/internal/trace"
+)
+
+// The -json schema. Everything fpscan prints as text has a field here,
+// so CI can diff scans and external tooling can consume the inventory
+// and the Figure 8 tables without screen-scraping.
+
+type jsonCFG struct {
+	Instructions   int `json:"instructions"`
+	Blocks         int `json:"blocks"`
+	Edges          int `json:"edges"`
+	IndirectRoots  int `json:"indirectRoots"`
+	ReachableInsts int `json:"reachableInstructions"`
+	ReachableBlks  int `json:"reachableBlocks"`
+}
+
+type jsonForm struct {
+	Form      string `json:"form"`
+	Sites     uint64 `json:"sites"`
+	Reachable uint64 `json:"reachableSites"`
+}
+
+type jsonLibc struct {
+	Symbol    string `json:"symbol"`
+	Sites     int    `json:"sites"`
+	Reachable int    `json:"reachableSites"`
+}
+
+type jsonFeasibility struct {
+	TotalSites        int      `json:"totalSites"`
+	ReachableSites    int      `json:"reachableSites"`
+	EmulableSites     int      `json:"emulableSites"`
+	EmulableReachable int      `json:"emulableReachable"`
+	UnsupportedForms  []string `json:"unsupportedForms,omitempty"`
+}
+
+type jsonSiteVerdict struct {
+	Addr      uint64            `json:"addr"`
+	Index     int               `json:"index"`
+	Form      string            `json:"form"`
+	Reachable bool              `json:"reachable"`
+	May       string            `json:"may"`
+	Must      string            `json:"must"`
+	Verdicts  map[string]string `json:"verdicts"`
+	Prunable  bool              `json:"prunable"`
+}
+
+type jsonAbsint struct {
+	EnvVaries bool              `json:"envVaries"`
+	Prunable  int               `json:"prunableSites"`
+	ByVerdict map[string]int    `json:"sitesByWorstVerdict"`
+	Sites     []jsonSiteVerdict `json:"sites"`
+}
+
+type jsonValidation struct {
+	Events         int      `json:"events"`
+	DynamicSites   int      `json:"dynamicSites"`
+	MatchedSites   int      `json:"matchedSites"`
+	Recall         float64  `json:"recall"`
+	Precision      float64  `json:"precision"`
+	Missing        []uint64 `json:"missing,omitempty"`
+	UnreachableHit []uint64 `json:"unreachableHit,omitempty"`
+	// AbsintViolations lists soundness failures of the abstract
+	// interpreter against the dynamic trace (with -absint).
+	AbsintViolations []string `json:"absintViolations,omitempty"`
+}
+
+type jsonScan struct {
+	Workload    string          `json:"workload"`
+	Size        string          `json:"size"`
+	CFG         jsonCFG         `json:"cfg"`
+	Forms       []jsonForm      `json:"forms"`
+	Libc        []jsonLibc      `json:"libc"`
+	Feasibility jsonFeasibility `json:"feasibility"`
+	Absint      *jsonAbsint     `json:"absint,omitempty"`
+	Validation  *jsonValidation `json:"validation,omitempty"`
+}
+
+func buildJSONScan(name, size string, scan *binscan.Scan) *jsonScan {
+	st := scan.CFG.Stats()
+	js := &jsonScan{
+		Workload: name,
+		Size:     size,
+		CFG: jsonCFG{
+			Instructions:   st.Insts,
+			Blocks:         st.Blocks,
+			Edges:          st.Edges,
+			IndirectRoots:  st.Roots,
+			ReachableInsts: st.ReachableInsts,
+			ReachableBlks:  st.ReachableBlocks,
+		},
+	}
+	reach := map[string]uint64{}
+	for _, e := range scan.FormInventory(true) {
+		reach[e.Key] = e.Count
+	}
+	for _, e := range scan.FormInventory(false) {
+		js.Forms = append(js.Forms, jsonForm{Form: e.Key, Sites: e.Count, Reachable: reach[e.Key]})
+	}
+	for _, ref := range scan.Libc {
+		js.Libc = append(js.Libc, jsonLibc{Symbol: ref.Sym, Sites: ref.Sites, Reachable: ref.ReachableSites})
+	}
+	rep := scan.PatchFeasibility(patchCycles, emulCycles, trapCycles)
+	js.Feasibility = jsonFeasibility{
+		TotalSites:        rep.TotalSites,
+		ReachableSites:    rep.ReachableSites,
+		EmulableSites:     rep.EmulableSites,
+		EmulableReachable: rep.EmulableReachable,
+		UnsupportedForms:  rep.UnsupportedForms,
+	}
+	return js
+}
+
+// worstVerdict is the site's strongest classification across classes:
+// "must" if any class must trap, "never" if no class can, "may"
+// otherwise. It drives the summary histogram.
+func worstVerdict(s *absint.SiteVerdict) string {
+	if !s.Reachable {
+		return "unreachable"
+	}
+	if s.Must != 0 {
+		return "must"
+	}
+	if s.May == 0 {
+		return "never"
+	}
+	return "may"
+}
+
+func buildJSONAbsint(res *absint.Result) *jsonAbsint {
+	ja := &jsonAbsint{
+		EnvVaries: res.EnvVaries,
+		Prunable:  res.PrunableCount(),
+		ByVerdict: map[string]int{},
+	}
+	for i := range res.Sites {
+		s := &res.Sites[i]
+		verdicts := map[string]string{}
+		for _, c := range absint.Classes {
+			verdicts[c.Name] = s.VerdictFor(c.Flag).String()
+		}
+		ja.ByVerdict[worstVerdict(s)]++
+		ja.Sites = append(ja.Sites, jsonSiteVerdict{
+			Addr:      s.Addr,
+			Index:     s.Index,
+			Form:      s.Op.String(),
+			Reachable: s.Reachable,
+			May:       s.May.String(),
+			Must:      s.Must.String(),
+			Verdicts:  verdicts,
+			Prunable:  s.Prunable,
+		})
+	}
+	return ja
+}
+
+func buildJSONValidation(v binscan.Validation, res *absint.Result, recs []trace.Record) *jsonValidation {
+	jv := &jsonValidation{
+		Events:         v.Events,
+		DynamicSites:   v.DynamicSites,
+		MatchedSites:   v.MatchedSites,
+		Recall:         v.Recall,
+		Precision:      v.Precision,
+		Missing:        v.Missing,
+		UnreachableHit: v.UnreachableHit,
+	}
+	if res != nil {
+		for _, viol := range absint.CheckSoundness(res, recs) {
+			jv.AbsintViolations = append(jv.AbsintViolations, viol.String())
+		}
+	}
+	return jv
+}
+
+func emitJSON(scans []*jsonScan) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(scans)
+}

@@ -21,6 +21,8 @@ import (
 	fpspy "repro"
 	"repro/internal/analysis"
 	"repro/internal/binscan"
+	"repro/internal/binscan/absint"
+	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/workload"
 )
@@ -38,6 +40,8 @@ func main() {
 	all := flag.Bool("all", false, "scan every registered workload")
 	sizeFlag := flag.String("size", "large", "problem size: small or large")
 	validate := flag.Bool("validate", false, "run under FPSpy and validate the scan against the dynamic trace")
+	absintFlag := flag.Bool("absint", false, "classify every site never/may/must-trap per exception class with the abstract interpreter")
+	jsonOut := flag.Bool("json", false, "emit the scan as JSON instead of text")
 	top := flag.Int("top", 10, "how many inventory entries to print per table")
 	pprofAddr := flag.String("pprof", "", "serve pprof on this address while scanning")
 	flag.Parse()
@@ -79,8 +83,17 @@ func main() {
 	}
 
 	failed := false
+	var scans []*jsonScan
 	for _, w := range targets {
-		if !scanOne(w, size, *validate, *top) {
+		js, ok := scanOne(w, size, *sizeFlag, *validate, *absintFlag, *jsonOut, *top)
+		if !ok {
+			failed = true
+		}
+		scans = append(scans, js)
+	}
+	if *jsonOut {
+		if err := emitJSON(scans); err != nil {
+			fmt.Fprintln(os.Stderr, "fpscan:", err)
 			failed = true
 		}
 	}
@@ -89,10 +102,24 @@ func main() {
 	}
 }
 
-func scanOne(w *workload.Workload, size workload.Size, validate bool, top int) bool {
+func scanOne(w *workload.Workload, size workload.Size, sizeName string, validate, doAbsint, jsonMode bool, top int) (*jsonScan, bool) {
 	prog := w.Build(size)
 	scan := binscan.ScanProgram(prog)
+	js := buildJSONScan(w.Meta.Name, sizeName, scan)
+	var absRes *absint.Result
+	if doAbsint {
+		absRes = absint.Analyze(prog)
+		js.Absint = buildJSONAbsint(absRes)
+	}
+	ok := scanText(w, prog, scan, js, absRes, validate, jsonMode, top)
+	return js, ok
+}
+
+func scanText(w *workload.Workload, prog *isa.Program, scan *binscan.Scan, js *jsonScan, absRes *absint.Result, validate, jsonMode bool, top int) bool {
 	st := scan.CFG.Stats()
+	if jsonMode {
+		return scanRest(w, prog, scan, js, absRes, validate, jsonMode)
+	}
 
 	fmt.Printf("=== %s ===\n", w.Meta.Name)
 	fmt.Printf("cfg: %d instructions, %d blocks, %d edges, %d indirect roots\n",
@@ -146,7 +173,38 @@ func scanOne(w *workload.Workload, size workload.Size, validate bool, top int) b
 			rep.Feasibility.PatchCyclesPerEvent, rep.Feasibility.TrapCyclesPerEvent, verdict)
 	}
 
+	return scanRest(w, prog, scan, js, absRes, validate, jsonMode)
+}
+
+// scanRest handles the absint verdict report and the dynamic validation
+// pass, filling the JSON document and (in text mode) printing them.
+func scanRest(w *workload.Workload, prog *isa.Program, scan *binscan.Scan, js *jsonScan, absRes *absint.Result, validate, jsonMode bool) bool {
 	ok := true
+	if absRes != nil && !jsonMode {
+		ja := js.Absint
+		fmt.Printf("\nabsint verdicts: %d never / %d may / %d must / %d unreachable, %d prunable",
+			ja.ByVerdict["never"], ja.ByVerdict["may"], ja.ByVerdict["must"],
+			ja.ByVerdict["unreachable"], ja.Prunable)
+		if ja.EnvVaries {
+			fmt.Print("  [env varies: pruning off]")
+		}
+		fmt.Println()
+		shown := 0
+		for i := range absRes.Sites {
+			s := &absRes.Sites[i]
+			if !s.Reachable || s.May == 0 {
+				continue
+			}
+			if shown < 10 {
+				fmt.Printf("  %#x %-12s may=%-15s must=%s\n", s.Addr, s.Op, s.May, s.Must)
+			}
+			shown++
+		}
+		if shown > 10 {
+			fmt.Printf("  ... %d more may-trap sites\n", shown-10)
+		}
+	}
+
 	if validate {
 		res, err := fpspy.Run(prog, fpspy.Options{Config: fpspy.Config{
 			Mode:       fpspy.ModeIndividual,
@@ -162,16 +220,25 @@ func scanOne(w *workload.Workload, size workload.Size, validate bool, top int) b
 			return false
 		}
 		v := scan.Validate(recs)
-		fmt.Printf("\nstatic-vs-dynamic validation: %v\n", v)
-		cov := analysis.StaticCoverageOf(recs, scan.SiteAddrs(true))
-		fmt.Printf("coverage: %d/%d reachable sites exercised (%.1f%%), event coverage %.3f\n",
-			cov.CoveredSites, cov.StaticSites, 100*cov.SiteCoverage, cov.EventCoverage)
+		js.Validation = buildJSONValidation(v, absRes, recs)
+		if !jsonMode {
+			fmt.Printf("\nstatic-vs-dynamic validation: %v\n", v)
+			cov := analysis.StaticCoverageOf(recs, scan.SiteAddrs(true))
+			fmt.Printf("coverage: %d/%d reachable sites exercised (%.1f%%), event coverage %.3f\n",
+				cov.CoveredSites, cov.StaticSites, 100*cov.SiteCoverage, cov.EventCoverage)
+		}
 		if !v.Sound() {
 			fmt.Fprintf(os.Stderr, "fpscan: %s: SOUNDNESS VIOLATION: missing=%#x unreachable-hit=%#x\n",
 				w.Meta.Name, v.Missing, v.UnreachableHit)
 			ok = false
 		}
+		for _, viol := range js.Validation.AbsintViolations {
+			fmt.Fprintf(os.Stderr, "fpscan: %s: ABSINT SOUNDNESS VIOLATION: %s\n", w.Meta.Name, viol)
+			ok = false
+		}
 	}
-	fmt.Println()
+	if !jsonMode {
+		fmt.Println()
+	}
 	return ok
 }

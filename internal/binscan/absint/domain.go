@@ -1,0 +1,478 @@
+// Package absint is a forward abstract interpretation over the CFG
+// recovered by internal/binscan. It classifies every floating point site
+// in the inventory as never-trap, may-trap, or must-trap per exception
+// class (invalid, denorm, divide-by-zero, overflow, underflow, inexact),
+// sharing one definition of every operation with the dynamic world: the
+// concrete corner of the abstract domain calls internal/softfloat
+// directly, so a static verdict can only disagree with execution if the
+// abstraction itself is wrong — which the corpus soundness tests and
+// FuzzAbsint check.
+//
+// The abstract value of one 64-bit vector lane is a triple:
+//
+//   - an optional small set of concrete bit patterns (exact as long as
+//     it stays small — transfer enumerates softfloat over the operand
+//     cross product and the environment set);
+//   - possibility bits for the IEEE special classes a lane may hold
+//     (±NaN signaling/quiet, ±Inf, ±zero, ±denormal, ±normal);
+//   - an interval [lo, hi] bounding the lane whenever it holds a finite
+//     value (specials are carried by the bits, not the interval).
+//
+// Joins union sets until they exceed a size budget, then fall back to
+// bits+interval. Widening at loop heads (after a join-count threshold)
+// drops sets and forces intervals to full range; the possibility-bit
+// lattice is finite, so the fixpoint terminates.
+//
+// Soundness leans on three havoc rules: address-taken roots enter with
+// an unconstrained state, callc returns havoc every register, and any
+// program with an address-taken root loses the initial memory image
+// (a signal handler or second thread may rewrite memory between any two
+// instructions — sigreturn restores registers, but not memory).
+package absint
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/softfloat"
+)
+
+// maxSet is the concrete-set size budget per abstract value. Transfer
+// functions enumerate softfloat over the operand cross product, so the
+// budget bounds per-site work at maxSet^2 (maxSet^3 for FMA) times the
+// environment-set size.
+const maxSet = 4
+
+// widenAfter is the per-block join count after which incoming states
+// are widened (sets dropped, intervals forced to full range).
+const widenAfter = 8
+
+// Possibility bits for the IEEE value classes a lane may hold.
+const (
+	bSNaN uint16 = 1 << iota
+	bQNaN
+	bPInf
+	bNInf
+	bPZero
+	bNZero
+	bPDen
+	bNDen
+	bPNorm
+	bNNorm
+
+	bitsNone uint16 = 0
+	bitsAll  uint16 = 1<<10 - 1
+	bitsNaN         = bSNaN | bQNaN
+	bitsInf         = bPInf | bNInf
+	bitsZero        = bPZero | bNZero
+	bitsDen         = bPDen | bNDen
+	bitsNorm        = bPNorm | bNNorm
+)
+
+// limits carries the format-dependent constants of the abstract rules.
+// The overflow/tiny thresholds keep a factor-two margin from the true
+// rounding boundaries, so interval slop can never flip a "possible"
+// into an unsound "impossible".
+type limits struct {
+	maxFinite  float64
+	ovfThresh  float64 // |exact result| >= this => overflow possible
+	tinyThresh float64 // 0 < |result| < this => underflow possible
+}
+
+var (
+	lim64 = limits{maxFinite: math.MaxFloat64, ovfThresh: 0x1p1023, tinyThresh: 0x1p-1021}
+	lim32 = limits{maxFinite: math.MaxFloat32, ovfThresh: 0x1p127, tinyThresh: 0x1p-125}
+)
+
+// Val abstracts one floating point lane (64- or 32-bit; the width is
+// carried by context, and 32-bit patterns live in the low half of the
+// uint64). A nil set means the value is abstract and only bits+interval
+// constrain it. The interval bounds the lane's value whenever the lane
+// holds a finite value; NaN and Inf possibilities ride in the bits.
+type Val struct {
+	set    []uint64
+	bits   uint16
+	lo, hi float64
+}
+
+// classify64 returns the possibility bit of one binary64 pattern.
+func classify64(p uint64) uint16 {
+	neg := p>>63 != 0
+	switch {
+	case softfloat.IsSNaN64(p):
+		return bSNaN
+	case softfloat.IsNaN64(p):
+		return bQNaN
+	case softfloat.IsInf64(p):
+		if neg {
+			return bNInf
+		}
+		return bPInf
+	case softfloat.IsZero64(p):
+		if neg {
+			return bNZero
+		}
+		return bPZero
+	case softfloat.IsDenormal64(p):
+		if neg {
+			return bNDen
+		}
+		return bPDen
+	default:
+		if neg {
+			return bNNorm
+		}
+		return bPNorm
+	}
+}
+
+// classify32 returns the possibility bit of one binary32 pattern.
+func classify32(p uint32) uint16 {
+	neg := p>>31 != 0
+	switch {
+	case softfloat.IsSNaN32(p):
+		return bSNaN
+	case softfloat.IsNaN32(p):
+		return bQNaN
+	case softfloat.IsInf32(p):
+		if neg {
+			return bNInf
+		}
+		return bPInf
+	case softfloat.IsZero32(p):
+		if neg {
+			return bNZero
+		}
+		return bPZero
+	case softfloat.IsDenormal32(p):
+		if neg {
+			return bNDen
+		}
+		return bPDen
+	default:
+		if neg {
+			return bNNorm
+		}
+		return bPNorm
+	}
+}
+
+// emptyRange is the interval of a value that is never finite.
+func emptyRange() (float64, float64) { return math.Inf(1), math.Inf(-1) }
+
+// valFromPatterns64 builds the most precise Val for a pattern list.
+// When the list exceeds the set budget the set is dropped, but bits and
+// interval stay exact for the enumerated patterns.
+func valFromPatterns64(ps []uint64) Val {
+	v := Val{}
+	v.lo, v.hi = emptyRange()
+	seen := make(map[uint64]bool, len(ps))
+	for _, p := range ps {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		cls := classify64(p)
+		v.bits |= cls
+		if cls&(bitsNaN|bitsInf) == 0 {
+			f := math.Float64frombits(p)
+			if f < v.lo {
+				v.lo = f
+			}
+			if f > v.hi {
+				v.hi = f
+			}
+		}
+		v.set = append(v.set, p)
+	}
+	if len(v.set) > maxSet {
+		v.set = nil
+	} else {
+		sort.Slice(v.set, func(i, j int) bool { return v.set[i] < v.set[j] })
+	}
+	return v
+}
+
+// valFromPatterns32 is the binary32 twin of valFromPatterns64; patterns
+// are stored zero-extended.
+func valFromPatterns32(ps []uint32) Val {
+	v := Val{}
+	v.lo, v.hi = emptyRange()
+	seen := make(map[uint32]bool, len(ps))
+	for _, p := range ps {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		cls := classify32(p)
+		v.bits |= cls
+		if cls&(bitsNaN|bitsInf) == 0 {
+			f := float64(math.Float32frombits(p))
+			if f < v.lo {
+				v.lo = f
+			}
+			if f > v.hi {
+				v.hi = f
+			}
+		}
+		v.set = append(v.set, uint64(p))
+	}
+	if len(v.set) > maxSet {
+		v.set = nil
+	} else {
+		sort.Slice(v.set, func(i, j int) bool { return v.set[i] < v.set[j] })
+	}
+	return v
+}
+
+// valTop64 is the unconstrained binary64 lane.
+func valTop64() Val {
+	return Val{bits: bitsAll, lo: -math.MaxFloat64, hi: math.MaxFloat64}
+}
+
+// valTop32 is the unconstrained binary32 lane.
+func valTop32() Val {
+	return Val{bits: bitsAll, lo: -math.MaxFloat32, hi: math.MaxFloat32}
+}
+
+// valAbs builds an abstract Val from bits and an interval.
+func valAbs(bits uint16, lo, hi float64) Val {
+	if bits&^(bitsNaN|bitsInf) == 0 {
+		lo, hi = emptyRange()
+	}
+	return Val{bits: bits, lo: lo, hi: hi}
+}
+
+func (v Val) concrete() bool { return v.set != nil }
+
+func (v Val) canSNaN() bool   { return v.bits&bSNaN != 0 }
+func (v Val) canNaN() bool    { return v.bits&bitsNaN != 0 }
+func (v Val) canPInf() bool   { return v.bits&bPInf != 0 }
+func (v Val) canNInf() bool   { return v.bits&bNInf != 0 }
+func (v Val) canInf() bool    { return v.bits&bitsInf != 0 }
+func (v Val) canZero() bool   { return v.bits&bitsZero != 0 }
+func (v Val) canDen() bool    { return v.bits&bitsDen != 0 }
+func (v Val) canFinite() bool { return v.bits&(bitsZero|bitsDen|bitsNorm) != 0 }
+
+// onlyZero reports that the lane is always a signed zero.
+func (v Val) onlyZero() bool { return v.bits != 0 && v.bits&^bitsZero == 0 }
+
+// maxMag is the largest finite magnitude the lane can hold (0 when no
+// finite value is possible).
+func (v Val) maxMag() float64 {
+	if v.lo > v.hi {
+		return 0
+	}
+	return math.Max(math.Abs(v.lo), math.Abs(v.hi))
+}
+
+// minMag is the smallest finite magnitude the lane can hold; it is 0
+// when the interval spans or touches zero.
+func (v Val) minMag() float64 {
+	if v.lo > v.hi {
+		return 0
+	}
+	if v.lo > 0 {
+		return v.lo
+	}
+	if v.hi < 0 {
+		return -v.hi
+	}
+	return 0
+}
+
+// neg mirrors a lane through sign flip (exact: subtraction is addition
+// of the negation).
+func (v Val) neg() Val {
+	out := Val{lo: -v.hi, hi: -v.lo}
+	if v.lo > v.hi {
+		out.lo, out.hi = emptyRange()
+	}
+	swap := func(b uint16, p, n uint16) uint16 {
+		var r uint16
+		if b&p != 0 {
+			r |= n
+		}
+		if b&n != 0 {
+			r |= p
+		}
+		return r
+	}
+	out.bits = v.bits&bitsNaN |
+		swap(v.bits, bPInf, bNInf) |
+		swap(v.bits, bPZero, bNZero) |
+		swap(v.bits, bPDen, bNDen) |
+		swap(v.bits, bPNorm, bNNorm)
+	if v.set != nil {
+		out.set = make([]uint64, len(v.set))
+		for i, p := range v.set {
+			out.set[i] = p ^ 1<<63
+		}
+		sort.Slice(out.set, func(i, j int) bool { return out.set[i] < out.set[j] })
+	}
+	return out
+}
+
+// neg32 is the binary32 twin of neg.
+func (v Val) neg32() Val {
+	out := v.neg()
+	if v.set != nil {
+		for i, p := range v.set {
+			out.set[i] = p // undo the 64-bit flip, apply the 32-bit one
+			out.set[i] = uint64(uint32(p) ^ 1<<31)
+		}
+		sort.Slice(out.set, func(i, j int) bool { return out.set[i] < out.set[j] })
+	}
+	return out
+}
+
+// joinVal merges two lane abstractions; wide forces the widened form.
+// Bits and intervals come from the operands (already width-correct), so
+// the join works for 64- and 32-bit lanes alike.
+func joinVal(a, b Val, wide bool) Val {
+	out := Val{bits: a.bits | b.bits, lo: math.Min(a.lo, b.lo), hi: math.Max(a.hi, b.hi)}
+	if a.lo > a.hi {
+		out.lo, out.hi = b.lo, b.hi
+	} else if b.lo > b.hi {
+		out.lo, out.hi = a.lo, a.hi
+	}
+	if a.concrete() && b.concrete() && !wide {
+		seen := make(map[uint64]bool, len(a.set)+len(b.set))
+		merged := make([]uint64, 0, len(a.set)+len(b.set))
+		for _, s := range [][]uint64{a.set, b.set} {
+			for _, p := range s {
+				if !seen[p] {
+					seen[p] = true
+					merged = append(merged, p)
+				}
+			}
+		}
+		if len(merged) <= maxSet {
+			sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+			out.set = merged
+			return out
+		}
+	}
+	if wide && out.bits&(bitsZero|bitsDen|bitsNorm) != 0 {
+		out.lo, out.hi = -math.MaxFloat64, math.MaxFloat64
+	}
+	return out
+}
+
+// valEqual reports abstract-state equality for the fixpoint test.
+func valEqual(a, b Val) bool {
+	if (a.set == nil) != (b.set == nil) {
+		return false
+	}
+	if a.set != nil {
+		if len(a.set) != len(b.set) {
+			return false
+		}
+		for i := range a.set {
+			if a.set[i] != b.set[i] {
+				return false
+			}
+		}
+	}
+	return a.bits == b.bits && sameBound(a.lo, b.lo) && sameBound(a.hi, b.hi)
+}
+
+func sameBound(a, b float64) bool {
+	return a == b || (math.IsInf(a, 1) && math.IsInf(b, 1)) || (math.IsInf(a, -1) && math.IsInf(b, -1)) ||
+		(math.IsNaN(a) && math.IsNaN(b))
+}
+
+// IntVal abstracts one integer register: a small set of concrete values
+// or top.
+type IntVal struct {
+	set []uint64
+	top bool
+}
+
+func intTop() IntVal           { return IntVal{top: true} }
+func intConst(v uint64) IntVal { return IntVal{set: []uint64{v}} }
+
+func intFromSet(vs []uint64) IntVal {
+	seen := make(map[uint64]bool, len(vs))
+	out := IntVal{}
+	for _, v := range vs {
+		if !seen[v] {
+			seen[v] = true
+			out.set = append(out.set, v)
+		}
+	}
+	if len(out.set) > maxSet {
+		return intTop()
+	}
+	sort.Slice(out.set, func(i, j int) bool { return out.set[i] < out.set[j] })
+	return out
+}
+
+func joinInt(a, b IntVal, wide bool) IntVal {
+	if a.top || b.top || wide {
+		return intTop()
+	}
+	return intFromSet(append(append([]uint64{}, a.set...), b.set...))
+}
+
+func intEqual(a, b IntVal) bool {
+	if a.top != b.top {
+		return false
+	}
+	if len(a.set) != len(b.set) {
+		return false
+	}
+	for i := range a.set {
+		if a.set[i] != b.set[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// outDown/outUp round an interval bound outward by one ulp, absorbing
+// any error a correctly rounded operation could introduce relative to
+// the real-valued bound computed in float64.
+func outDown(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, -1) {
+		return math.Inf(-1)
+	}
+	return math.Nextafter(x, math.Inf(-1))
+}
+
+func outUp(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 1) {
+		return math.Inf(1)
+	}
+	return math.Nextafter(x, math.Inf(1))
+}
+
+// clampRange clips an outward interval to the finite range of the
+// format (specials are carried by bits, not the interval).
+func clampRange(lo, hi float64, lim limits) (float64, float64) {
+	if lo > hi || math.IsNaN(lo) || math.IsNaN(hi) {
+		return -lim.maxFinite, lim.maxFinite
+	}
+	if lo < -lim.maxFinite {
+		lo = -lim.maxFinite
+	}
+	if hi > lim.maxFinite {
+		hi = lim.maxFinite
+	}
+	if lo > hi { // both bounds clipped past each other: no finite values
+		return emptyRange()
+	}
+	return lo, hi
+}
+
+// intervalHasTiny reports whether [lo, hi] contains a value x with
+// 0 < |x| < thresh — the underflow-candidate region.
+func intervalHasTiny(lo, hi, thresh float64) bool {
+	if lo > hi {
+		return false
+	}
+	if lo == 0 && hi == 0 {
+		return false
+	}
+	return lo < thresh && hi > -thresh
+}

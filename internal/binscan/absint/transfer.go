@@ -1,0 +1,562 @@
+package absint
+
+import (
+	"math"
+
+	"repro/internal/softfloat"
+)
+
+// outcome is the abstract result of one lane operation: the result
+// value, the flags that MAY be raised on some execution, and the flags
+// that MUST be raised on every execution. Must facts are only derived
+// from exhaustive concrete enumeration; abstract rules report Must = 0.
+type outcome struct {
+	val       Val
+	may, must softfloat.Flags
+}
+
+// allMust is the identity of flag intersection.
+const allMust = softfloat.Flags(0x3F)
+
+// envAnyNoDAZ reports whether some environment leaves denormal operands
+// alone (so the Denormal flag can fire).
+func envAnyNoDAZ(envs []softfloat.Env) bool {
+	for _, e := range envs {
+		if !e.DAZ {
+			return true
+		}
+	}
+	return false
+}
+
+// envAnyDAZ reports whether some environment substitutes denormal
+// operands with zero (so a denormal can act as a zero).
+func envAnyDAZ(envs []softfloat.Env) bool {
+	for _, e := range envs {
+		if e.DAZ {
+			return true
+		}
+	}
+	return false
+}
+
+// envAnyFTZ reports whether some environment flushes tiny results.
+func envAnyFTZ(envs []softfloat.Env) bool {
+	for _, e := range envs {
+		if e.FTZ {
+			return true
+		}
+	}
+	return false
+}
+
+// canZeroEff reports whether the lane can act as a zero operand: it is
+// a zero, or a denormal under a DAZ environment.
+func canZeroEff(v Val, envs []softfloat.Env) bool {
+	return v.canZero() || (v.canDen() && envAnyDAZ(envs))
+}
+
+// canNonzeroFiniteEff reports whether the lane can act as a finite
+// nonzero operand after DAZ substitution.
+func canNonzeroFiniteEff(v Val, envs []softfloat.Env) bool {
+	if v.bits&bitsNorm != 0 {
+		return true
+	}
+	return v.canDen() && envAnyNoDAZ(envs)
+}
+
+// deFlag adds the Denormal possibility for daz-applying operations.
+func deFlag(envs []softfloat.Env, ops ...Val) softfloat.Flags {
+	for _, v := range ops {
+		if v.canDen() && envAnyNoDAZ(envs) {
+			return softfloat.FlagDenormal
+		}
+	}
+	return 0
+}
+
+// snanFlag adds the Invalid possibility from signaling-NaN operands.
+func snanFlag(ops ...Val) softfloat.Flags {
+	for _, v := range ops {
+		if v.canSNaN() {
+			return softfloat.FlagInvalid
+		}
+	}
+	return 0
+}
+
+// enum1/enum2/enum3 run exhaustive concrete enumeration of a softfloat
+// operation over small operand sets and the environment set. The result
+// is exact: May is the union and Must the intersection of the flags the
+// shared softfloat implementation actually raises.
+func enum1(op func(a uint64, e softfloat.Env) (uint64, softfloat.Flags),
+	as []uint64, envs []softfloat.Env, from32 bool) outcome {
+	o := outcome{must: allMust}
+	var outs []uint64
+	for _, a := range as {
+		for _, e := range envs {
+			z, fl := op(a, e)
+			o.may |= fl
+			o.must &= fl
+			outs = append(outs, z)
+		}
+	}
+	if from32 {
+		ps := make([]uint32, len(outs))
+		for i, z := range outs {
+			ps[i] = uint32(z)
+		}
+		o.val = valFromPatterns32(ps)
+	} else {
+		o.val = valFromPatterns64(outs)
+	}
+	return o
+}
+
+func enum2(op func(a, b uint64, e softfloat.Env) (uint64, softfloat.Flags),
+	as, bs []uint64, envs []softfloat.Env, from32 bool) outcome {
+	o := outcome{must: allMust}
+	var outs []uint64
+	for _, a := range as {
+		for _, b := range bs {
+			for _, e := range envs {
+				z, fl := op(a, b, e)
+				o.may |= fl
+				o.must &= fl
+				outs = append(outs, z)
+			}
+		}
+	}
+	if from32 {
+		ps := make([]uint32, len(outs))
+		for i, z := range outs {
+			ps[i] = uint32(z)
+		}
+		o.val = valFromPatterns32(ps)
+	} else {
+		o.val = valFromPatterns64(outs)
+	}
+	return o
+}
+
+func enum3(op func(a, b, c uint64, e softfloat.Env) (uint64, softfloat.Flags),
+	as, bs, cs []uint64, envs []softfloat.Env, from32 bool) outcome {
+	o := outcome{must: allMust}
+	var outs []uint64
+	for _, a := range as {
+		for _, b := range bs {
+			for _, c := range cs {
+				for _, e := range envs {
+					z, fl := op(a, b, c, e)
+					o.may |= fl
+					o.must &= fl
+					outs = append(outs, z)
+				}
+			}
+		}
+	}
+	if from32 {
+		ps := make([]uint32, len(outs))
+		for i, z := range outs {
+			ps[i] = uint32(z)
+		}
+		o.val = valFromPatterns32(ps)
+	} else {
+		o.val = valFromPatterns64(outs)
+	}
+	return o
+}
+
+// finishAbs assembles an abstract arithmetic result: interval clamped to
+// the finite range, result-class bits derived from what the flags and
+// operands allow, and a zero extension when FTZ can flush a tiny result.
+func finishAbs(lo, hi float64, may softfloat.Flags, nanPossible, infPossible bool,
+	envs []softfloat.Env, lim limits) Val {
+	lo, hi = clampRange(lo, hi, lim)
+	bits := bitsNone
+	if nanPossible || may&softfloat.FlagInvalid != 0 {
+		bits |= bQNaN
+	}
+	if infPossible || may&(softfloat.FlagOverflow|softfloat.FlagDivideByZero) != 0 {
+		bits |= bitsInf
+	}
+	if lo <= hi {
+		bits |= bitsNorm | bitsZero
+		if intervalHasTiny(lo, hi, lim.tinyThresh) {
+			bits |= bitsDen
+		}
+		if may&softfloat.FlagUnderflow != 0 && envAnyFTZ(envs) {
+			// A flush produces a signed zero that may lie outside the
+			// arithmetic interval; extend the interval to cover it.
+			bits |= bitsZero
+			if lo > 0 {
+				lo = 0
+			}
+			if hi < 0 {
+				hi = 0
+			}
+		}
+	}
+	return valAbs(bits, lo, hi)
+}
+
+// absAdd implements the abstract rule for addition (subtraction is
+// addition of the negated operand, applied by the caller).
+func absAdd(a, b Val, envs []softfloat.Env, lim limits) outcome {
+	var may softfloat.Flags
+	may |= snanFlag(a, b) | deFlag(envs, a, b)
+	if (a.canPInf() && b.canNInf()) || (a.canNInf() && b.canPInf()) {
+		may |= softfloat.FlagInvalid
+	}
+	lo, hi := emptyRange()
+	if a.canFinite() && b.canFinite() {
+		lo = outDown(a.lo + b.lo)
+		hi = outUp(a.hi + b.hi)
+		if math.Max(math.Abs(lo), math.Abs(hi)) >= lim.ovfThresh {
+			may |= softfloat.FlagOverflow
+		}
+		if intervalHasTiny(lo, hi, lim.tinyThresh) {
+			may |= softfloat.FlagUnderflow
+		}
+		if !a.onlyZero() && !b.onlyZero() {
+			may |= softfloat.FlagInexact
+		}
+	}
+	if may&softfloat.FlagUnderflow != 0 && envAnyFTZ(envs) {
+		may |= softfloat.FlagInexact
+	}
+	nan := a.canNaN() || b.canNaN() || may&softfloat.FlagInvalid != 0
+	inf := a.canInf() || b.canInf()
+	return outcome{val: finishAbs(lo, hi, may, nan, inf, envs, lim), may: may}
+}
+
+// absMul implements the abstract rule for multiplication.
+func absMul(a, b Val, envs []softfloat.Env, lim limits) outcome {
+	var may softfloat.Flags
+	may |= snanFlag(a, b) | deFlag(envs, a, b)
+	if (a.canInf() && canZeroEff(b, envs)) || (canZeroEff(a, envs) && b.canInf()) {
+		may |= softfloat.FlagInvalid
+	}
+	lo, hi := emptyRange()
+	if a.canFinite() && b.canFinite() {
+		lo, hi = mulHull(a, b)
+		if a.maxMag()*b.maxMag() >= lim.ovfThresh {
+			may |= softfloat.FlagOverflow
+		}
+		if prodTiny(a.minMag(), b.minMag(), lim.tinyThresh) {
+			may |= softfloat.FlagUnderflow
+		}
+		if !a.onlyZero() && !b.onlyZero() {
+			may |= softfloat.FlagInexact
+		}
+	}
+	nan := a.canNaN() || b.canNaN() || may&softfloat.FlagInvalid != 0
+	inf := a.canInf() || b.canInf()
+	return outcome{val: finishAbs(lo, hi, may, nan, inf, envs, lim), may: may}
+}
+
+// prodTiny reports whether the product of two magnitudes can fall in
+// the underflow region (a zero minimum means an operand can be zero or
+// span zero, so a tiny product cannot be excluded unless it is exactly
+// zero — and that exactness is only known on the concrete path).
+func prodTiny(minA, minB, thresh float64) bool {
+	p := minA * minB
+	return p < thresh
+}
+
+// mulHull computes the outward product hull of the finite portions.
+func mulHull(a, b Val) (float64, float64) {
+	lo, hi := emptyRange()
+	for _, x := range [2]float64{a.lo, a.hi} {
+		for _, y := range [2]float64{b.lo, b.hi} {
+			p := x * y
+			if math.IsNaN(p) {
+				p = 0
+			}
+			if outDown(p) < lo {
+				lo = outDown(p)
+			}
+			if outUp(p) > hi {
+				hi = outUp(p)
+			}
+		}
+	}
+	return lo, hi
+}
+
+// absDiv implements the abstract rule for division.
+func absDiv(a, b Val, envs []softfloat.Env, lim limits) outcome {
+	var may softfloat.Flags
+	may |= snanFlag(a, b) | deFlag(envs, a, b)
+	if canZeroEff(a, envs) && canZeroEff(b, envs) {
+		may |= softfloat.FlagInvalid
+	}
+	if a.canInf() && b.canInf() {
+		may |= softfloat.FlagInvalid
+	}
+	if canNonzeroFiniteEff(a, envs) && canZeroEff(b, envs) {
+		may |= softfloat.FlagDivideByZero
+	}
+	lo, hi := emptyRange()
+	if a.canFinite() && b.canFinite() {
+		bMin := b.minMag()
+		if bMin == 0 || canZeroEff(b, envs) {
+			lo, hi = -lim.maxFinite, lim.maxFinite
+			may |= softfloat.FlagOverflow | softfloat.FlagUnderflow | softfloat.FlagInexact
+		} else {
+			lo, hi = divHull(a, b)
+			if a.maxMag()/bMin >= lim.ovfThresh {
+				may |= softfloat.FlagOverflow
+			}
+			if bMax := b.maxMag(); bMax > 0 && a.minMag()/bMax < lim.tinyThresh {
+				may |= softfloat.FlagUnderflow
+			}
+			if !a.onlyZero() {
+				may |= softfloat.FlagInexact
+			}
+		}
+	}
+	nan := a.canNaN() || b.canNaN() || may&softfloat.FlagInvalid != 0
+	inf := a.canInf() || may&(softfloat.FlagDivideByZero|softfloat.FlagOverflow) != 0
+	return outcome{val: finishAbs(lo, hi, may, nan, inf, envs, lim), may: may}
+}
+
+// divHull computes the outward quotient hull when the divisor interval
+// excludes zero.
+func divHull(a, b Val) (float64, float64) {
+	lo, hi := emptyRange()
+	for _, x := range [2]float64{a.lo, a.hi} {
+		for _, y := range [2]float64{b.lo, b.hi} {
+			if y == 0 {
+				continue
+			}
+			q := x / y
+			if math.IsNaN(q) {
+				q = 0
+			}
+			if outDown(q) < lo {
+				lo = outDown(q)
+			}
+			if outUp(q) > hi {
+				hi = outUp(q)
+			}
+		}
+	}
+	return lo, hi
+}
+
+// absSqrt implements the abstract rule for square root. Square roots of
+// positive values can never overflow or underflow.
+func absSqrt(a Val, envs []softfloat.Env, lim limits) outcome {
+	var may softfloat.Flags
+	may |= snanFlag(a) | deFlag(envs, a)
+	if a.canNInf() || (a.lo <= a.hi && a.lo < 0) {
+		may |= softfloat.FlagInvalid
+	}
+	lo, hi := emptyRange()
+	if a.canFinite() {
+		lo = 0
+		if a.canZero() || a.canDen() {
+			lo = -0.0 // sqrt(-0) = -0
+		}
+		top := a.hi
+		if top < 0 {
+			top = 0
+		}
+		hi = outUp(math.Sqrt(top))
+		may |= softfloat.FlagInexact
+	}
+	nan := a.canNaN() || may&softfloat.FlagInvalid != 0
+	return outcome{val: finishAbs(lo, hi, may, nan, a.canPInf(), envs, lim), may: may}
+}
+
+// absMinMax implements minsd/maxsd-style compare-select: the result is
+// one of the operands (or a DAZ-substituted zero) and the only flags
+// are Invalid (NaN operand) and Denormal.
+func absMinMax(a, b Val, envs []softfloat.Env) outcome {
+	var may softfloat.Flags
+	if a.canNaN() || b.canNaN() {
+		may |= softfloat.FlagInvalid
+	}
+	may |= deFlag(envs, a, b)
+	v := joinVal(a, b, false)
+	v.set = nil // selection order is not tracked abstractly
+	if (a.canDen() || b.canDen()) && envAnyDAZ(envs) {
+		v.bits |= bitsZero
+	}
+	if may&softfloat.FlagInvalid != 0 {
+		v.bits |= bQNaN
+	}
+	return outcome{val: v, may: may}
+}
+
+// absCompare covers ucomi/comi/cmp-predicate forms: only Invalid and
+// Denormal are possible.
+func absCompare(a, b Val, anyNaNSignals bool, envs []softfloat.Env) softfloat.Flags {
+	var may softfloat.Flags
+	if anyNaNSignals {
+		if a.canNaN() || b.canNaN() {
+			may |= softfloat.FlagInvalid
+		}
+	} else {
+		may |= snanFlag(a, b)
+	}
+	may |= deFlag(envs, a, b)
+	return may
+}
+
+// absFMA implements the abstract fused multiply-add rule for a*b + c.
+func absFMA(a, b, c Val, envs []softfloat.Env, lim limits) outcome {
+	var may softfloat.Flags
+	may |= snanFlag(a, b, c) | deFlag(envs, a, b, c)
+	prodInf := a.canInf() || b.canInf()
+	if (a.canInf() && canZeroEff(b, envs)) || (canZeroEff(a, envs) && b.canInf()) {
+		may |= softfloat.FlagInvalid
+	}
+	if prodInf && c.canInf() {
+		may |= softfloat.FlagInvalid
+	}
+	lo, hi := emptyRange()
+	if a.canFinite() && b.canFinite() && c.canFinite() {
+		pLo, pHi := mulHull(a, b)
+		lo = outDown(pLo + c.lo)
+		hi = outUp(pHi + c.hi)
+		if math.Max(math.Abs(lo), math.Abs(hi)) >= lim.ovfThresh {
+			may |= softfloat.FlagOverflow
+		}
+		if intervalHasTiny(lo, hi, lim.tinyThresh) {
+			may |= softfloat.FlagUnderflow
+		}
+		if !((a.onlyZero() || b.onlyZero()) && c.onlyZero()) {
+			may |= softfloat.FlagInexact
+		}
+	}
+	nan := a.canNaN() || b.canNaN() || c.canNaN() || may&softfloat.FlagInvalid != 0
+	inf := prodInf || c.canInf()
+	return outcome{val: finishAbs(lo, hi, may, nan, inf, envs, lim), may: may}
+}
+
+// absCvtNarrow covers cvtsd2ss: rounding into the narrower format can
+// overflow, underflow, and round.
+func absCvtNarrow(a Val, envs []softfloat.Env) outcome {
+	var may softfloat.Flags
+	may |= snanFlag(a) | deFlag(envs, a)
+	lo, hi := emptyRange()
+	if a.canFinite() {
+		lo, hi = outDown(a.lo), outUp(a.hi)
+		if a.maxMag() >= lim32.ovfThresh {
+			may |= softfloat.FlagOverflow
+		}
+		if intervalHasTiny(lo, hi, lim32.tinyThresh) {
+			may |= softfloat.FlagUnderflow
+		}
+		if !a.onlyZero() {
+			may |= softfloat.FlagInexact
+		}
+	}
+	nan := a.canNaN() || may&softfloat.FlagInvalid != 0
+	return outcome{val: finishAbs(lo, hi, may, nan, a.canInf(), envs, lim32), may: may}
+}
+
+// absCvtWiden covers cvtss2sd: exact, but SNaN and denormal operands
+// still signal.
+func absCvtWiden(a Val, envs []softfloat.Env) outcome {
+	may := snanFlag(a) | deFlag(envs, a)
+	bits := a.bits &^ bSNaN
+	if a.canNaN() {
+		bits |= bQNaN // SNaN widens to a quiet NaN
+	}
+	// Denormal f32 values widen to normal f64 values (or flush to zero
+	// under DAZ); keep the class bits permissive rather than model the
+	// shift exactly.
+	if a.canDen() {
+		bits |= bitsNorm | bitsZero
+	}
+	return outcome{val: valAbs(bits, a.lo, a.hi), may: may}
+}
+
+// absCvtToInt covers the float-to-integer conversions: Invalid on NaN
+// or out-of-range, Inexact on fractional values, Denormal on denormal
+// operands.
+func absCvtToInt(a Val, bound float64, envs []softfloat.Env) softfloat.Flags {
+	var may softfloat.Flags
+	may |= deFlag(envs, a)
+	if a.canNaN() || a.canInf() || a.maxMag() >= bound {
+		may |= softfloat.FlagInvalid
+	}
+	if a.canFinite() && !a.onlyZero() {
+		may |= softfloat.FlagInexact
+	}
+	return may
+}
+
+// absCvtFromInt covers the integer-to-float conversions: only Inexact
+// is possible (and never for int32 -> f64).
+func absCvtFromInt(exact bool) softfloat.Flags {
+	if exact {
+		return 0
+	}
+	return softfloat.FlagInexact
+}
+
+// absRound covers the round-to-integral forms.
+func absRound(a Val, suppressInexact bool, envs []softfloat.Env) outcome {
+	may := snanFlag(a) | deFlag(envs, a)
+	if a.canFinite() && !a.onlyZero() && !suppressInexact {
+		may |= softfloat.FlagInexact
+	}
+	lo, hi := emptyRange()
+	if a.canFinite() {
+		lo, hi = outDown(math.Floor(a.lo)), outUp(math.Ceil(a.hi))
+	}
+	bits := a.bits
+	if a.canNaN() {
+		bits |= bQNaN
+	}
+	if a.canFinite() {
+		bits |= bitsZero | bitsNorm
+	}
+	return outcome{val: valAbs(bits, lo, hi), may: may}
+}
+
+// lanesOf reads Lanes 64-bit lane abstractions of a vector register.
+func (an *analyzer) lane64(st *state, reg uint8, l int) Val {
+	return st.vec[reg][l]
+}
+
+// lane32 derives the abstraction of a 32-bit lane from its containing
+// 64-bit lane: exact for concrete values, top otherwise.
+func (an *analyzer) lane32(st *state, reg uint8, l int) Val {
+	v := st.vec[reg][l/2]
+	if v.concrete() {
+		ps := make([]uint32, len(v.set))
+		for i, p := range v.set {
+			ps[i] = uint32(p >> (32 * uint(l%2)))
+		}
+		return valFromPatterns32(ps)
+	}
+	return valTop32()
+}
+
+// setLane64 writes a 64-bit lane abstraction.
+func (an *analyzer) setLane64(st *state, reg uint8, l int, v Val) {
+	st.vec[reg][l] = v
+}
+
+// setLane32 writes a 32-bit lane abstraction into its containing 64-bit
+// lane: the cross product of concrete halves when small, top otherwise.
+func (an *analyzer) setLane32(st *state, reg uint8, l int, v Val) {
+	old := st.vec[reg][l/2]
+	if v.concrete() && old.concrete() && len(v.set)*len(old.set) <= maxSet {
+		shift := 32 * uint(l%2)
+		var ps []uint64
+		for _, o := range old.set {
+			for _, n := range v.set {
+				ps = append(ps, o&^(uint64(0xFFFFFFFF)<<shift)|uint64(uint32(n))<<shift)
+			}
+		}
+		st.vec[reg][l/2] = valFromPatterns64(ps)
+		return
+	}
+	st.vec[reg][l/2] = valTop64()
+}

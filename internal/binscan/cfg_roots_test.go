@@ -1,0 +1,115 @@
+package binscan
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestLeaIntoBlockInteriorSplitsBlock covers the address-taken-root edge
+// case where a Lea constant targets the middle of what would otherwise
+// be one straight-line block. The target must become a block leader (and
+// a root), splitting the block, and the first half must keep a
+// fall-through edge into the second.
+//
+//	entry:    lea r2, interior; addsd       <- block 0
+//	interior: mulsd; hlt                    <- block 1, address-taken
+func TestLeaIntoBlockInteriorSplitsBlock(t *testing.T) {
+	b := isa.NewBuilder("lea-interior")
+	interior := b.Label("interior")
+	b.Lea(2, interior)
+	b.FP2(isa.OpADDSD, 1, 1, 1)
+	b.Bind(interior)
+	b.FP2(isa.OpMULSD, 2, 2, 2)
+	b.Hlt()
+	p := b.Build()
+
+	cfg := BuildCFG(p)
+	if len(cfg.Blocks) != 2 {
+		t.Fatalf("Blocks = %d, want 2 (lea splits the straight line)", len(cfg.Blocks))
+	}
+	front, back := &cfg.Blocks[0], &cfg.Blocks[1]
+	if front.Start != 0 || front.End != 2 {
+		t.Errorf("front block = [%d,%d), want [0,2)", front.Start, front.End)
+	}
+	if back.Start != 2 || back.End != 4 {
+		t.Errorf("back block = [%d,%d), want [2,4)", back.Start, back.End)
+	}
+	if front.AddressTaken {
+		t.Error("front block should not be address-taken")
+	}
+	if !back.AddressTaken {
+		t.Error("interior block must be address-taken (its address is a Lea constant)")
+	}
+	if len(front.Succs) != 1 || front.Succs[0] != 1 {
+		t.Errorf("front.Succs = %v, want fall-through [1]", front.Succs)
+	}
+	st := cfg.Stats()
+	if st.Roots != 1 {
+		t.Errorf("Roots = %d, want 1", st.Roots)
+	}
+	if st.ReachableBlocks != 2 || st.ReachableInsts != 4 {
+		t.Errorf("reachability = %d blocks / %d insts, want 2/4",
+			st.ReachableBlocks, st.ReachableInsts)
+	}
+}
+
+// TestAddressTakenFallthroughSuccessor covers a block that is
+// simultaneously an indirect root (its address is taken) and an
+// ordinary fall-through successor of a conditional branch. Both roles
+// must survive CFG recovery: the static edge from the branch block and
+// the AddressTaken mark, with reachability counting the block once.
+//
+//	entry:   lea r2, handler; beq r1, r0, done   <- block 0
+//	handler: divsd                               <- block 1, taken + fall-through
+//	done:    hlt                                 <- block 2
+func TestAddressTakenFallthroughSuccessor(t *testing.T) {
+	b := isa.NewBuilder("taken-fallthrough")
+	handler := b.Label("handler")
+	done := b.Label("done")
+	b.Lea(2, handler)
+	b.Beq(1, 0, done)
+	b.Bind(handler)
+	b.FP2(isa.OpDIVSD, 3, 3, 3)
+	b.Bind(done)
+	b.Hlt()
+	p := b.Build()
+
+	cfg := BuildCFG(p)
+	if len(cfg.Blocks) != 3 {
+		t.Fatalf("Blocks = %d, want 3", len(cfg.Blocks))
+	}
+	entry, hb, db := &cfg.Blocks[0], &cfg.Blocks[1], &cfg.Blocks[2]
+	if !hb.AddressTaken {
+		t.Error("handler block must be address-taken")
+	}
+	if hb.Start != 2 || hb.End != 3 {
+		t.Errorf("handler block = [%d,%d), want [2,3)", hb.Start, hb.End)
+	}
+	// The branch block must have both successors: the branch target
+	// (done) and the fall-through into the address-taken handler.
+	succs := map[int]bool{}
+	for _, s := range entry.Succs {
+		succs[s] = true
+	}
+	if len(entry.Succs) != 2 || !succs[1] || !succs[2] {
+		t.Errorf("entry.Succs = %v, want {1 (fall-through), 2 (branch target)}", entry.Succs)
+	}
+	if len(hb.Succs) != 1 || hb.Succs[0] != 2 {
+		t.Errorf("handler.Succs = %v, want fall-through [2]", hb.Succs)
+	}
+	if !db.Reachable || !hb.Reachable || !entry.Reachable {
+		t.Error("all three blocks must be reachable")
+	}
+	st := cfg.Stats()
+	if st.Roots != 1 {
+		t.Errorf("Roots = %d, want 1 (handler)", st.Roots)
+	}
+	if st.Edges != 3 {
+		t.Errorf("Edges = %d, want 3", st.Edges)
+	}
+	if st.ReachableBlocks != 3 || st.ReachableInsts != len(p.Insts) {
+		t.Errorf("reachability = %d blocks / %d insts, want 3/%d",
+			st.ReachableBlocks, st.ReachableInsts, len(p.Insts))
+	}
+}

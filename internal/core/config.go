@@ -18,6 +18,7 @@
 //	FPE_TIMER        "real" or "virtual" time for temporal sampling
 //	FPE_STORM        "N:C" trap-storm watchdog: demote to aggregate mode
 //	                 when a thread takes N faults within C cycles
+//	FPE_NOPRUNE      "yes": disable static trap-site pruning (ablation)
 package core
 
 import (
@@ -85,6 +86,12 @@ type Config struct {
 	// a thread taking StormFaults SIGFPEs within a StormCycles window
 	// demotes the whole process to aggregate mode.
 	StormFaults, StormCycles uint64
+	// NoPrune disables static trap-site pruning in individual mode (the
+	// ablation knob for the abstract-interpretation verdicts; compare
+	// NoFastPath on the kernel side). Pruned and unpruned runs are
+	// bit-identical — this exists for differential testing and for
+	// measuring the pruning speedup.
+	NoPrune bool
 }
 
 // eventNames maps FPE_EXCEPT_LIST tokens to condition flags.
@@ -116,6 +123,7 @@ func ParseConfig(env map[string]string) (Config, error) {
 	cfg.Aggressive = isYes(env["FPE_AGGRESSIVE"])
 	cfg.Poisson = isYes(env["FPE_POISSON"])
 	cfg.Breakpoints = isYes(env["FPE_BRKPT"])
+	cfg.NoPrune = isYes(env["FPE_NOPRUNE"])
 	switch strings.ToLower(env["FPE_TIMER"]) {
 	case "", "virtual":
 		cfg.VirtualTimer = true
@@ -200,6 +208,9 @@ func (c Config) EnvVars() map[string]string {
 	}
 	if c.Breakpoints {
 		env["FPE_BRKPT"] = "yes"
+	}
+	if c.NoPrune {
+		env["FPE_NOPRUNE"] = "yes"
 	}
 	if !c.VirtualTimer {
 		env["FPE_TIMER"] = "real"

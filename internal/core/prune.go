@@ -1,0 +1,35 @@
+package core
+
+import (
+	"repro/internal/binscan/absint"
+	"repro/internal/kernel"
+)
+
+// installPruneTable applies the static trap-site verdicts to a monitored
+// thread: instruction indices the abstract interpreter proved can never
+// raise any exception condition retire on the machine's native quiet
+// path instead of the softfloat interpreter. The analysis is memoized
+// per program, so every thread of a process shares one result.
+//
+// Pruning is sound for the spy because a proven-quiet site raises no
+// condition even when masked: it can neither fault (individual mode) nor
+// set a sticky flag (aggregate mode), so skipping its trap checks is
+// unobservable. The machine additionally re-checks the live RC/FTZ/DAZ
+// environment before each quiet retire, covering environment changes the
+// static analysis cannot see (libc fesetround via callc, fault
+// injection).
+func (s *Spy) installPruneTable(t *kernel.Task) {
+	res := absint.Analyze(t.M.Prog)
+	if s.opm != nil {
+		s.opm.Analyses.Inc()
+		s.opm.SitesTotal.Set(int64(len(res.Sites)))
+		s.opm.SitesPruned.Set(int64(res.PrunableCount()))
+		if res.EnvVaries {
+			s.opm.EnvVarying.Inc()
+		}
+	}
+	if res.PrunableCount() == 0 {
+		return
+	}
+	t.M.QuietFP = res.QuietTable()
+}

@@ -80,6 +80,7 @@ type Spy struct {
 	// counters and the event tracer. Both are nil-safe by construction
 	// and never influence monitoring decisions.
 	om  *obs.SpyMetrics
+	opm *obs.PruneMetrics
 	otr *obs.Tracer
 }
 
@@ -99,6 +100,7 @@ func FactoryObs(store *Store, m *obs.Metrics) kernel.ObjectFactory {
 			threads: make(map[int]*threadState),
 			fights:  make(map[kernel.Signal]uint64),
 			om:      m.SpyMetricsOrNil(),
+			opm:     m.PruneMetricsOrNil(),
 			otr:     m.TracerOrNil(),
 		}
 		return s.object()
@@ -232,6 +234,9 @@ func (s *Spy) threadInit(k *kernel.Kernel, t *kernel.Task) {
 	cpu.MXCSR.ClearFlags()
 	if s.state == StateIndividual {
 		cpu.MXCSR.Unmask(s.cfg.ExceptList)
+		if !s.cfg.NoPrune {
+			s.installPruneTable(t)
+		}
 		if s.temporalSampling() {
 			t.SetTimer(s.timerKind(), s.period(ts, s.cfg.SampleOnUS))
 		}

@@ -131,6 +131,13 @@ type Machine struct {
 	// (guest MXCSR traffic, breakpoint arming). Nil means no
 	// instrumentation; the execution paths are unchanged either way.
 	Obs *obs.MachineMetrics
+	// QuietFP, when non-nil, marks instruction indices statically proven
+	// to never raise any FP exception condition (see
+	// internal/binscan/absint). Marked arithmetic sites retire on native
+	// hardware floating point instead of the softfloat interpreter —
+	// bit-identical results, no flag updates, no trap checks. Nil (the
+	// default) disables pruning entirely.
+	QuietFP []bool
 
 	// nextIdx caches the instruction index of CPU.RIP, or -1 when
 	// unknown. It is always validated against RIP before use (AddrOf of
@@ -474,8 +481,12 @@ func (m *Machine) Step() Event {
 		}
 
 	default:
-		// Floating point execute path: compute results into a staging
-		// buffer, then either fault (unmasked) or write back.
+		// Floating point execute path: statically-proven-quiet sites
+		// retire natively; everything else computes results into a
+		// staging buffer, then either faults (unmasked) or writes back.
+		if m.quietStep(idx, inst, info) {
+			break
+		}
 		if ev := m.execFP(inst, info, idx, addr); ev != nil {
 			return ev
 		}

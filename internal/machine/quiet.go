@@ -1,0 +1,126 @@
+package machine
+
+import (
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/softfloat"
+)
+
+// Trap-site pruning: QuietFP marks instruction indices the static
+// verifier (internal/binscan/absint) proved can never raise any
+// exception condition under the default environment. Those sites can
+// retire on native hardware arithmetic instead of the softfloat
+// interpreter — same bits, no flags, no trap checks.
+//
+// The proof only covers the power-on environment (round-to-nearest, FTZ
+// and DAZ off), which is also exactly the environment in which Go's own
+// float64/float32 operations are IEEE 754 evaluated, so the native
+// result is bit-identical to the softfloat result. quietStep re-checks
+// the live environment before trusting the table: if anything — a guest
+// ldmxcsr the analysis missed, a fault injector, a handler editing the
+// saved context — has moved RC/FTZ/DAZ off the default, the site falls
+// back to the interpreter. Exception *masks* and sticky *flags* are
+// deliberately not part of the check: masks gate trap delivery, not
+// arithmetic, and a proven-quiet site raises nothing to deliver.
+
+// quietStep executes inst natively when the prune table covers it.
+// It reports whether the instruction was retired here; false means the
+// caller must take the ordinary interpreted path.
+func (m *Machine) quietStep(idx int, inst *isa.Inst, info *isa.OpInfo) bool {
+	if m.QuietFP == nil || idx >= len(m.QuietFP) || !m.QuietFP[idx] {
+		return false
+	}
+	if info.Class != isa.ClassFPArith {
+		// The native path implements only plain arithmetic; the analysis
+		// never marks other classes, so this is a defensive mismatch
+		// guard rather than a reachable branch.
+		return false
+	}
+	if m.CPU.MXCSR.Env() != (softfloat.Env{}) {
+		return false
+	}
+	m.execFPQuiet(inst, info)
+	if m.Obs != nil {
+		m.Obs.QuietSteps.Inc()
+	}
+	return true
+}
+
+// execFPQuiet retires a proven-quiet arithmetic instruction on native
+// hardware floating point. The operand-forwarding rules of min/max
+// mirror softfloat.Min64/Max64 for NaN-free operands: strict inequality
+// selects the first operand, everything else (including +0 vs -0, which
+// compare equal) forwards the second.
+func (m *Machine) execFPQuiet(inst *isa.Inst, info *isa.OpInfo) {
+	c := &m.CPU
+	if info.Prec == isa.F64 {
+		for l := 0; l < info.Lanes; l++ {
+			a := c.X[inst.Rs1][l]
+			b := c.X[inst.Rs2][l]
+			fa, fb := math.Float64frombits(a), math.Float64frombits(b)
+			var z uint64
+			switch info.FP {
+			case isa.FPAdd:
+				z = math.Float64bits(fa + fb)
+			case isa.FPSub:
+				z = math.Float64bits(fa - fb)
+			case isa.FPMul:
+				z = math.Float64bits(fa * fb)
+			case isa.FPDiv:
+				z = math.Float64bits(fa / fb)
+			case isa.FPSqrt:
+				z = math.Float64bits(math.Sqrt(fa))
+			case isa.FPMin:
+				if fa < fb {
+					z = a
+				} else {
+					z = b
+				}
+			case isa.FPMax:
+				if fa > fb {
+					z = a
+				} else {
+					z = b
+				}
+			}
+			c.X[inst.Rd][l] = z
+		}
+		return
+	}
+	for l := 0; l < info.Lanes; l++ {
+		a := c.lane32(inst.Rs1, l)
+		b := c.lane32(inst.Rs2, l)
+		fa, fb := math.Float32frombits(a), math.Float32frombits(b)
+		var z uint32
+		switch info.FP {
+		case isa.FPAdd:
+			z = math.Float32bits(fa + fb)
+		case isa.FPSub:
+			z = math.Float32bits(fa - fb)
+		case isa.FPMul:
+			z = math.Float32bits(fa * fb)
+		case isa.FPDiv:
+			z = math.Float32bits(fa / fb)
+		case isa.FPSqrt:
+			// A single square root of a correctly rounded float32 input
+			// computed in float64 and rounded once to float32 is the
+			// correctly rounded float32 square root (the double rounding
+			// is benign for sqrt), so this matches softfloat.Sqrt32.
+			z = math.Float32bits(float32(math.Sqrt(float64(fa))))
+		case isa.FPMin:
+			if fa < fb {
+				z = a
+			} else {
+				z = b
+			}
+		case isa.FPMax:
+			if fa > fb {
+				z = a
+			} else {
+				z = b
+			}
+		}
+		c.setLane32(inst.Rd, l, z)
+	}
+}

@@ -39,6 +39,9 @@ type Metrics struct {
 	// Spy instruments FPSpy itself: faults, records, the two-trap
 	// protocol, degradations.
 	Spy SpyMetrics
+	// Prune instruments the static trap-site pruning pipeline
+	// (internal/binscan/absint verdicts applied by the spy).
+	Prune PruneMetrics
 	// Study instruments the pass scheduler in internal/study.
 	Study StudyMetrics
 	// Server instruments the fpspyd daemon in internal/server.
@@ -109,6 +112,15 @@ func (m *Metrics) SpyMetricsOrNil() *SpyMetrics {
 		return nil
 	}
 	return &m.Spy
+}
+
+// PruneMetricsOrNil returns the trap-site pruning instrument group, or
+// nil when observability is disabled.
+func (m *Metrics) PruneMetricsOrNil() *PruneMetrics {
+	if m == nil {
+		return nil
+	}
+	return &m.Prune
 }
 
 // StudyMetricsOrNil returns the study instrument group, or nil when
@@ -187,6 +199,25 @@ type MachineMetrics struct {
 	// BreakpointsArmed counts instructions stubbed by the Section 3.8
 	// breakpoint protocol.
 	BreakpointsArmed Counter
+	// QuietSteps counts FP instructions retired on the native quiet path
+	// because the static verifier pruned their trap site.
+	QuietSteps Counter
+}
+
+// PruneMetrics instruments the static trap-site pruning pipeline: how
+// often the abstract interpreter ran, how many sites it proved quiet,
+// and whether a varying FP environment forced pruning off.
+type PruneMetrics struct {
+	// Analyses counts abstract-interpretation runs requested by the spy
+	// (cache hits included; the analysis itself memoizes per program).
+	Analyses Counter
+	// SitesTotal is the FP site count of the last analyzed program.
+	SitesTotal Gauge
+	// SitesPruned is the number of those sites proven quiet and pruned.
+	SitesPruned Gauge
+	// EnvVarying counts analyses that found a reachable ldmxcsr and so
+	// disabled pruning for the whole program.
+	EnvVarying Counter
 }
 
 // SpyMetrics instruments FPSpy's monitoring core.

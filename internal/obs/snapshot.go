@@ -62,6 +62,10 @@ const (
 	NameServerRateLimited   = "server.rate-limited"
 	NameServerShed          = "server.shed"
 	NameServerQueueDepth    = "server.queue-depth"
+	NameMachineQuietSteps   = "machine.quiet.steps"
+	NamePruneAnalyses       = "prune.analyses"
+	NamePruneSitesTotal     = "prune.sites-total"
+	NamePruneSitesPruned    = "prune.sites-pruned"
 )
 
 // KernelSignalCounterName returns the snapshot key of the delivery
@@ -115,6 +119,13 @@ func (m *Metrics) Snapshot() Snapshot {
 	counter("machine.mxcsr.guest-writes", &mm.GuestMXCSRWrites)
 	counter("machine.mxcsr.guest-reads", &mm.GuestMXCSRReads)
 	counter("machine.breakpoints.armed", &mm.BreakpointsArmed)
+	counter(NameMachineQuietSteps, &mm.QuietSteps)
+
+	pr := &m.Prune
+	counter(NamePruneAnalyses, &pr.Analyses)
+	counter("prune.env-varying", &pr.EnvVarying)
+	gauge(NamePruneSitesTotal, &pr.SitesTotal)
+	gauge(NamePruneSitesPruned, &pr.SitesPruned)
 
 	sp := &m.Spy
 	counter(NameSpyFaults, &sp.Faults)

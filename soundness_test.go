@@ -1,0 +1,77 @@
+package fpspy_test
+
+import (
+	"testing"
+
+	fpspy "repro"
+	"repro/internal/binscan/absint"
+	"repro/internal/workload"
+)
+
+// TestWorkloadStaticSoundness runs every study workload in individual
+// mode (with pruning active, as a real run would) and cross-checks each
+// dynamically recorded trap against the abstract interpreter's verdicts:
+// a raised condition at a site classified never-trap is a hard failure.
+// This is the corpus-wide soundness gate for the static verifier.
+func TestWorkloadStaticSoundness(t *testing.T) {
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Meta.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := w.Build(workload.SizeSmall)
+			res := absint.Analyze(prog)
+			run, err := fpspy.Run(prog, fpspy.Options{
+				Config: fpspy.Config{Mode: fpspy.ModeIndividual},
+			})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			recs, err := run.Store.AllRecords()
+			if err != nil {
+				t.Fatalf("records: %v", err)
+			}
+			for _, v := range absint.CheckSoundness(res, recs) {
+				t.Errorf("%s", v)
+			}
+		})
+	}
+}
+
+// TestWorkloadPruneDifferential asserts pruning does not change what the
+// spy records on real numerics: the individual-mode trace of a pruned
+// run is identical, record for record, to the unpruned run.
+func TestWorkloadPruneDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep skipped in -short")
+	}
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Meta.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := w.Build(workload.SizeSmall)
+			runWith := func(noPrune bool) []fpspy.Record {
+				run, err := fpspy.Run(prog, fpspy.Options{
+					Config: fpspy.Config{Mode: fpspy.ModeIndividual, NoPrune: noPrune},
+				})
+				if err != nil {
+					t.Fatalf("run(noPrune=%v): %v", noPrune, err)
+				}
+				recs, err := run.Store.AllRecords()
+				if err != nil {
+					t.Fatalf("records(noPrune=%v): %v", noPrune, err)
+				}
+				return recs
+			}
+			pruned := runWith(false)
+			plain := runWith(true)
+			if len(pruned) != len(plain) {
+				t.Fatalf("%d records pruned vs %d unpruned", len(pruned), len(plain))
+			}
+			for i := range pruned {
+				if pruned[i] != plain[i] {
+					t.Fatalf("record %d differs:\npruned:   %+v\nunpruned: %+v", i, pruned[i], plain[i])
+				}
+			}
+		})
+	}
+}
