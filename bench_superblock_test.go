@@ -1,0 +1,172 @@
+package fpspy_test
+
+import (
+	"math"
+	"testing"
+
+	fpspy "repro"
+	"repro/internal/isa"
+	"repro/internal/softfloat"
+)
+
+// buildEmulationProgram returns an emulation-heavy guest shaped like
+// the paper's workloads: a long straight-line loop body of scalar
+// binary64 arithmetic (the dominant form class in the corpus — Figure
+// 17's top forms are scalar SSE) with the address arithmetic real code
+// carries, every FP op inexact so nothing is prunable and every retire
+// goes through the soft FPU. This is the shape the superblock cache
+// targets: after aggregate mode captures the first event and masks,
+// the whole run is RunStraight over one hot region, and the cached
+// dispatch retires scalar F64 arithmetic through the inline fast lane
+// instead of re-classifying the opcode and staging a full 512-bit
+// vector per instruction.
+func buildEmulationProgram(n int) *fpspy.Program {
+	b := fpspy.NewProgram("emu-heavy")
+	consts := b.Float64s(0.1, 0.2, 3, 7)
+	b.Movi(isa.R4, int64(consts))
+	b.Fld(isa.X0, isa.R4, 0)  // 0.1
+	b.Fld(isa.X1, isa.R4, 8)  // 0.2
+	b.Fld(isa.X7, isa.R4, 16) // 3
+	b.Fld(isa.X6, isa.R4, 24) // 7
+	b.Movi(isa.R2, 0)
+	b.Movi(isa.R3, int64(n))
+	loop := b.Label("loop")
+	b.Bind(loop)
+	b.FP2(isa.OpADDSD, isa.X2, isa.X0, isa.X1)  // inexact
+	b.FP2(isa.OpMULSD, isa.X3, isa.X2, isa.X0)  // inexact
+	b.FP2(isa.OpSUBSD, isa.X4, isa.X3, isa.X1)  // inexact
+	b.FP2(isa.OpDIVSD, isa.X5, isa.X0, isa.X7)  // 0.1/3: inexact
+	b.FP1(isa.OpSQRTSD, isa.X8, isa.X7)         // sqrt(3): inexact
+	b.FP2(isa.OpADDSD, isa.X2, isa.X2, isa.X5)  // inexact
+	b.FP2(isa.OpMULSD, isa.X9, isa.X8, isa.X6)  // inexact
+	b.FP2(isa.OpMINSD, isa.X10, isa.X9, isa.X6) // exact but unprovable
+	b.Addi(isa.R5, isa.R5, 8)                   // address arithmetic
+	b.Addi(isa.R2, isa.R2, 1)
+	b.Blt(isa.R2, isa.R3, loop)
+	b.Hlt()
+	return b.Build()
+}
+
+// BenchmarkSuperblock measures the aggregate-mode run of the
+// emulation-heavy guest with the superblock trace cache on (default)
+// and off (FPE_NOSUPERBLOCK, the ablation). Aggregate mode captures the
+// first inexact event and then masks, so virtually the whole run goes
+// through RunStraight; the ablation pair isolates what region caching
+// saves per retired instruction over the per-Step decode loop. The
+// chaos and corpus differentials pin the two engines bit-identical, so
+// any gap here is pure dispatch overhead.
+func BenchmarkSuperblock(b *testing.B) {
+	prog := buildEmulationProgram(20000)
+
+	// Sanity: the two engines must agree on the run's observable shape
+	// before we time them.
+	ref, err := fpspy.Run(prog, fpspy.Options{
+		Config:   fpspy.Config{Mode: fpspy.ModeAggregate},
+		MemBytes: 2 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	abl, err := fpspy.Run(prog, fpspy.Options{
+		Config:   fpspy.Config{Mode: fpspy.ModeAggregate, NoSuperblock: true},
+		MemBytes: 2 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if ref.ExitCode != 0 || abl.ExitCode != 0 || ref.Steps != abl.Steps {
+		b.Fatalf("engines disagree: exit %d/%d, steps %d/%d",
+			ref.ExitCode, abl.ExitCode, ref.Steps, abl.Steps)
+	}
+
+	for _, bc := range []struct {
+		name         string
+		noSuperblock bool
+	}{
+		{"cached", false},
+		{"nosuperblock", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := fpspy.Run(prog, fpspy.Options{
+					Config: fpspy.Config{
+						Mode:         fpspy.ModeAggregate,
+						NoSuperblock: bc.noSuperblock,
+					},
+					MemBytes: 2 << 20,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.ExitCode != 0 {
+					b.Fatalf("exit %d", res.ExitCode)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSoftFloatLanes compares per-lane scalar dispatch (what the
+// machine's packed path did before lane batching: one exported-function
+// call and flag merge per lane) against the lane-sliced kernels, per
+// lane width. The win is call and loop overhead amortized across the
+// vector — the per-lane rounding work is identical by construction
+// (conformance_test pins the lane kernels to the scalar ops bit for
+// bit).
+func BenchmarkSoftFloatLanes(b *testing.B) {
+	env := softfloat.Env{RM: softfloat.RoundNearestEven}
+
+	a64 := make([]uint64, isa.VecWords)
+	c64 := make([]uint64, isa.VecWords)
+	d64 := make([]uint64, isa.VecWords)
+	for i := range a64 {
+		a64[i] = math.Float64bits(0.1 + float64(i)*0.3)
+		c64[i] = math.Float64bits(0.2 + float64(i)*0.7)
+	}
+	b.Run("width64/scalar", func(b *testing.B) {
+		var fl softfloat.Flags
+		for i := 0; i < b.N; i++ {
+			for l := range d64 {
+				z, f := softfloat.Add64(a64[l], c64[l], env)
+				d64[l] = z
+				fl |= f
+			}
+		}
+		_ = fl
+	})
+	b.Run("width64/lanes", func(b *testing.B) {
+		var fl softfloat.Flags
+		for i := 0; i < b.N; i++ {
+			fl |= softfloat.AddLanes64(d64, a64, c64, env)
+		}
+		_ = fl
+	})
+
+	lanes32 := 2 * isa.VecWords
+	a32 := make([]uint32, lanes32)
+	c32 := make([]uint32, lanes32)
+	d32 := make([]uint32, lanes32)
+	for i := range a32 {
+		a32[i] = math.Float32bits(0.1 + float32(i)*0.3)
+		c32[i] = math.Float32bits(0.2 + float32(i)*0.7)
+	}
+	b.Run("width32/scalar", func(b *testing.B) {
+		var fl softfloat.Flags
+		for i := 0; i < b.N; i++ {
+			for l := range d32 {
+				z, f := softfloat.Add32(a32[l], c32[l], env)
+				d32[l] = z
+				fl |= f
+			}
+		}
+		_ = fl
+	})
+	b.Run("width32/lanes", func(b *testing.B) {
+		var fl softfloat.Flags
+		for i := 0; i < b.N; i++ {
+			fl |= softfloat.AddLanes32(d32, a32, c32, env)
+		}
+		_ = fl
+	})
+}

@@ -21,7 +21,7 @@ import (
 type state struct {
 	valid bool
 	mem   bool
-	vec   [isa.NumVecRegs][4]Val
+	vec   [isa.NumVecRegs][isa.VecWords]Val
 	ints  [isa.NumIntRegs]IntVal
 }
 
@@ -450,7 +450,10 @@ func analyzeProgram(p *isa.Program) *Result {
 			sv.May = v.May
 			sv.Must = v.Must
 		}
-		sv.Prunable = sv.May == 0 && !res.EnvVaries && sv.Op.Info().Class == isa.ClassFPArith
+		// Masked forms are excluded: the quiet native path does not
+		// implement merge masking, so pruning them buys nothing.
+		sv.Prunable = sv.May == 0 && !res.EnvVaries &&
+			sv.Op.Info().Class == isa.ClassFPArith && !sv.Op.Info().Masked
 		res.siteAt[sv.Addr] = len(res.Sites)
 		res.Sites = append(res.Sites, sv)
 	}
@@ -553,6 +556,13 @@ func (an *analyzer) transferBlock(bi int, record func(idx int, may, must softflo
 
 		case isa.ClassFPMove:
 			an.execMoveAbs(&st, inst)
+
+		case isa.ClassMask:
+			// Mask registers are not tracked; kmovrq makes its integer
+			// destination unknown, kmovq has no tracked effect.
+			if inst.Op == isa.OpKMOVRQ {
+				writeInt(&st, inst.Rd, intTop())
+			}
 
 		default:
 			may, must := an.execFPAbs(&st, inst, info)
@@ -775,9 +785,13 @@ func (an *analyzer) execMemAbs(st *state, inst *isa.Inst) {
 		} else {
 			st.vec[inst.Rd][0] = fldsUnknown()
 		}
-	case isa.OpFLDV:
+	case isa.OpFLDV, isa.OpFLDVZ:
+		words := 4
+		if inst.Op == isa.OpFLDVZ {
+			words = isa.VecWords
+		}
 		addrs := an.loadAddrs(st, inst)
-		for l := 0; l < 4; l++ {
+		for l := 0; l < words; l++ {
 			if addrs != nil {
 				vs := make([]uint64, len(addrs))
 				for i, a := range addrs {
@@ -788,7 +802,7 @@ func (an *analyzer) execMemAbs(st *state, inst *isa.Inst) {
 				st.vec[inst.Rd][l] = valTop64()
 			}
 		}
-	case isa.OpST, isa.OpFST, isa.OpFSTS, isa.OpFSTV, isa.OpSTMXCSR:
+	case isa.OpST, isa.OpFST, isa.OpFSTS, isa.OpFSTV, isa.OpFSTVZ, isa.OpSTMXCSR:
 		// Any store invalidates the initial image (written locations are
 		// not tracked).
 		st.mem = false
@@ -939,6 +953,9 @@ func mergeLane(may, must *softfloat.Flags, o outcome) {
 // flag union (may) and guaranteed subset (must) across all executions
 // reaching it with the current entry state.
 func (an *analyzer) execFPAbs(st *state, inst *isa.Inst, info *isa.OpInfo) (may, must softfloat.Flags) {
+	if info.Masked {
+		return an.execMaskedAbs(st, inst, info)
+	}
 	switch info.Class {
 	case isa.ClassFPArith:
 		if info.Prec == isa.F64 {
@@ -1042,6 +1059,43 @@ func (an *analyzer) execFPAbs(st *state, inst *isa.Inst, info *isa.OpInfo) (may,
 		may, must = an.execDotAbs(st, inst, info)
 	}
 	return may, must
+}
+
+// execMaskedAbs interprets write-masked arithmetic. Mask register
+// contents are not tracked, so any lane subset may be active: may is
+// the union over all lanes evaluated as if active, must is empty (the
+// all-zero mask computes nothing and raises nothing), and every
+// destination lane goes to top (an active lane takes the computed
+// value, an inactive one merges the old — top covers both).
+func (an *analyzer) execMaskedAbs(st *state, inst *isa.Inst, info *isa.OpInfo) (may, must softfloat.Flags) {
+	if info.Prec == isa.F64 {
+		for l := 0; l < info.Lanes; l++ {
+			var o outcome
+			if info.FP == isa.FPSqrt {
+				o = an.evalSqrt64(an.lane64(st, inst.Rs1, l))
+			} else {
+				o = an.evalBin64(info.FP, an.lane64(st, inst.Rs1, l), an.lane64(st, inst.Rs2, l))
+			}
+			may |= o.may
+		}
+		for l := 0; l < info.Lanes; l++ {
+			an.setLane64(st, inst.Rd, l, valTop64())
+		}
+	} else {
+		for l := 0; l < info.Lanes; l++ {
+			var o outcome
+			if info.FP == isa.FPSqrt {
+				o = an.evalSqrt32(an.lane32(st, inst.Rs1, l))
+			} else {
+				o = an.evalBin32(info.FP, an.lane32(st, inst.Rs1, l), an.lane32(st, inst.Rs2, l))
+			}
+			may |= o.may
+		}
+		for l := 0; l < info.Lanes; l++ {
+			an.setLane32(st, inst.Rd, l, valTop32())
+		}
+	}
+	return may, 0
 }
 
 func (an *analyzer) execConvertAbs(st *state, inst *isa.Inst, info *isa.OpInfo) (may, must softfloat.Flags) {

@@ -32,7 +32,7 @@ func genProgram(data []byte) *isa.Program {
 	b := isa.NewBuilder("fuzz")
 	consts := b.Float64s(fuzzConsts...)
 	envs := b.Words(fuzzMXCSRWords...)
-	scratch := b.Zeros(64)
+	scratch := b.Zeros(128)
 
 	b.Movi(isa.R1, int64(consts))
 	b.Movi(isa.R2, int64(envs))
@@ -55,12 +55,16 @@ func genProgram(data []byte) *isa.Program {
 	}
 
 	fp2 := []isa.Opcode{isa.OpADDSD, isa.OpSUBSD, isa.OpMULSD, isa.OpDIVSD, isa.OpMINSD, isa.OpMAXSD}
+	fp2z := []isa.Opcode{isa.OpVADDPDZ, isa.OpVSUBPDZ, isa.OpVMULPDZ, isa.OpVDIVPDZ,
+		isa.OpVADDPSZ, isa.OpVMULPSZ}
+	fp2k := []isa.Opcode{isa.OpVADDPDKZ, isa.OpVSUBPDKZ, isa.OpVMULPDKZ, isa.OpVDIVPDKZ,
+		isa.OpVADDPSKZ, isa.OpVDIVPSKZ}
 	var pending []*isa.Label
 	steps := 8 + byteAt()%48
 	for i := 0; i < steps; i++ {
 		op := byteAt()
 		a, c := byteAt(), byteAt()
-		switch op % 10 {
+		switch op % 14 {
 		case 0, 1, 2, 3: // weighted toward arithmetic
 			b.FP2(fp2[op%len(fp2)], xreg(a), xreg(c), xreg(op>>4))
 		case 4:
@@ -82,6 +86,24 @@ func genProgram(data []byte) *isa.Program {
 			b.Fld(xreg(op>>4), isa.R3, int64(a%8)*8)
 		case 9: // environment rewrite
 			b.Ldmxcsr(isa.R2, int64(a%len(fuzzMXCSRWords))*8)
+		case 10: // 512-bit packed arithmetic
+			b.FP2(fp2z[op%len(fp2z)], xreg(a), xreg(c), xreg(op>>4))
+		case 11: // write-masked arithmetic plus a sqrt form
+			if a%3 == 0 {
+				b.FP1Masked(isa.OpVSQRTPDKZ, xreg(a), xreg(c), op>>4%isa.NumMaskRegs)
+			} else {
+				b.FP2Masked(fp2k[op%len(fp2k)], xreg(a), xreg(c), xreg(op>>4), a%isa.NumMaskRegs)
+			}
+		case 12: // mask-register traffic
+			if a%2 == 0 {
+				b.Movi(isa.R5, int64(c))
+				b.Kmovq(c%isa.NumMaskRegs, isa.R5)
+			} else {
+				b.Kmovrq(isa.R6, c%isa.NumMaskRegs)
+			}
+		case 13: // full-width store/load through scratch memory
+			b.Fstvz(isa.R3, int64(a%2)*64, xreg(c))
+			b.Fldvz(xreg(op>>4), isa.R3, int64(a%2)*64)
 		}
 		// Bind a pending forward label at a byte-chosen point.
 		if len(pending) > 0 && c%3 == 0 {
@@ -136,6 +158,10 @@ func FuzzAbsint(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{7, 3, 9, 200, 14, 6, 0, 3, 9, 4, 4, 4})
 	f.Add([]byte{6, 0, 0, 3, 3, 3, 7, 7, 9, 9, 5, 1, 2, 8, 8, 250, 131, 17})
+	// 512-bit, write-masked, mask-register, and full-width memory forms
+	// (op%14 in {10,11,12,13}), mixed with environment rewrites.
+	f.Add([]byte{1, 2, 3, 4, 30, 10, 5, 24, 3, 7, 25, 0, 66, 26, 4, 1, 27, 9, 2, 9, 3, 1})
+	f.Add([]byte{9, 9, 9, 9, 40, 11, 97, 33, 12, 2, 120, 13, 1, 50, 38, 255, 4, 26, 5, 5})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p := genProgram(data)
 		res := Analyze(p)

@@ -25,7 +25,8 @@ type TaskSnap struct {
 	RIP     uint64
 	Retired uint64
 	R       [isa.NumIntRegs]uint64
-	X       [isa.NumVecRegs][4]uint64
+	X       [isa.NumVecRegs][isa.VecWords]uint64
+	K       [isa.NumMaskRegs]uint64
 }
 
 // ProcSnap is one process's observable outcome.
@@ -82,7 +83,7 @@ func snapshot(k *kernel.Kernel) Snapshot {
 		ps := ProcSnap{PID: p.PID, ExitCode: p.ExitCode, MemSum: memSum(p.Mem)}
 		for _, t := range p.Tasks {
 			ts := TaskSnap{TID: t.TID, RIP: t.M.CPU.RIP, Retired: t.M.Retired,
-				R: t.M.CPU.R, X: t.M.CPU.X}
+				R: t.M.CPU.R, X: t.M.CPU.X, K: t.M.CPU.K}
 			ps.Tasks = append(ps.Tasks, ts)
 		}
 		sort.Slice(ps.Tasks, func(i, j int) bool { return ps.Tasks[i].TID < ps.Tasks[j].TID })
@@ -131,6 +132,8 @@ func diffSnapshots(labelA, labelB string, a, b Snapshot) string {
 				return fmt.Sprintf("pid %d tid %d: integer registers differ (%s vs %s)", pa.PID, ta.TID, labelA, labelB)
 			case ta.X != tb.X:
 				return fmt.Sprintf("pid %d tid %d: vector registers differ (%s vs %s)", pa.PID, ta.TID, labelA, labelB)
+			case ta.K != tb.K:
+				return fmt.Sprintf("pid %d tid %d: mask registers differ (%s vs %s)", pa.PID, ta.TID, labelA, labelB)
 			}
 		}
 	}

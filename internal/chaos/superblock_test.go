@@ -1,0 +1,60 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSuperblockDifferential runs every chaos family with the superblock
+// region cache on and off (the FPE_NOSUPERBLOCK ablation) and requires
+// the guest-visible outcome — registers, mask registers, memory, exit
+// codes, retirement counts — to be bit-identical, plus the recorded
+// traces and monitor events. The cache is purely a dispatch shortcut:
+// if it ever changes what the guest or the monitor observes, this test
+// is the tripwire.
+func TestSuperblockDifferential(t *testing.T) {
+	for _, f := range Families() {
+		f := f
+		t.Run(string(f), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 2; seed++ {
+				sc := Generate(f, seed)
+				sc.Config.Mode = core.ModeIndividual
+
+				sc.Config.NoSuperblock = false
+				cached, err := runOnce(sc, true, false)
+				if err != nil {
+					t.Fatalf("seed %d cached: %v", seed, err)
+				}
+				sc.Config.NoSuperblock = true
+				plain, err := runOnce(sc, true, false)
+				if err != nil {
+					t.Fatalf("seed %d uncached: %v", seed, err)
+				}
+				if d := diffSnapshots("superblock", "nosuperblock", cached.Snap, plain.Snap); d != "" {
+					t.Fatalf("seed %d: superblock cache changed guest state: %s", seed, d)
+				}
+				cr, err := cached.Store.AllRecords()
+				if err != nil {
+					t.Fatalf("seed %d: cached records: %v", seed, err)
+				}
+				ur, err := plain.Store.AllRecords()
+				if err != nil {
+					t.Fatalf("seed %d: uncached records: %v", seed, err)
+				}
+				if len(cr) != len(ur) {
+					t.Fatalf("seed %d: %d records cached vs %d uncached", seed, len(cr), len(ur))
+				}
+				for i := range cr {
+					if cr[i] != ur[i] {
+						t.Fatalf("seed %d: record %d differs:\ncached:   %+v\nuncached: %+v", seed, i, cr[i], ur[i])
+					}
+				}
+				if a, b := eventSummary(cached.Store), eventSummary(plain.Store); a != b {
+					t.Fatalf("seed %d: monitor events differ:\ncached:   %q\nuncached: %q", seed, a, b)
+				}
+			}
+		})
+	}
+}

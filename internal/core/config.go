@@ -19,6 +19,8 @@
 //	FPE_STORM        "N:C" trap-storm watchdog: demote to aggregate mode
 //	                 when a thread takes N faults within C cycles
 //	FPE_NOPRUNE      "yes": disable static trap-site pruning (ablation)
+//	FPE_NOSUPERBLOCK "yes": disable the superblock region cache and run
+//	                 the fast path per-instruction (ablation)
 package core
 
 import (
@@ -92,6 +94,12 @@ type Config struct {
 	// bit-identical — this exists for differential testing and for
 	// measuring the pruning speedup.
 	NoPrune bool
+	// NoSuperblock disables the machine's superblock region cache while
+	// keeping the batched fast path (the FPE_NOSUPERBLOCK ablation;
+	// compare NoFastPath, which disables batching entirely). Cached and
+	// uncached runs are bit-identical — this exists for differential
+	// testing and for measuring the superblock speedup.
+	NoSuperblock bool
 }
 
 // eventNames maps FPE_EXCEPT_LIST tokens to condition flags.
@@ -124,6 +132,7 @@ func ParseConfig(env map[string]string) (Config, error) {
 	cfg.Poisson = isYes(env["FPE_POISSON"])
 	cfg.Breakpoints = isYes(env["FPE_BRKPT"])
 	cfg.NoPrune = isYes(env["FPE_NOPRUNE"])
+	cfg.NoSuperblock = isYes(env["FPE_NOSUPERBLOCK"])
 	switch strings.ToLower(env["FPE_TIMER"]) {
 	case "", "virtual":
 		cfg.VirtualTimer = true
@@ -211,6 +220,9 @@ func (c Config) EnvVars() map[string]string {
 	}
 	if c.NoPrune {
 		env["FPE_NOPRUNE"] = "yes"
+	}
+	if c.NoSuperblock {
+		env["FPE_NOSUPERBLOCK"] = "yes"
 	}
 	if !c.VirtualTimer {
 		env["FPE_TIMER"] = "real"

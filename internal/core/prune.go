@@ -31,5 +31,7 @@ func (s *Spy) installPruneTable(t *kernel.Task) {
 	if res.PrunableCount() == 0 {
 		return
 	}
-	t.M.QuietFP = res.QuietTable()
+	// SetQuietFP (not a direct field write) bumps the machine's code
+	// version so cached superblock regions rebuild with the new verdicts.
+	t.M.SetQuietFP(res.QuietTable())
 }

@@ -230,6 +230,9 @@ func (s *Spy) threadInit(k *kernel.Kernel, t *kernel.Task) {
 		s.otr.Instant("fpspy", "thread-init", s.proc.PID, t.TID, "state", uint64(s.state))
 	}
 
+	if s.cfg.NoSuperblock {
+		t.M.NoSuperblock = true
+	}
 	cpu := &t.M.CPU
 	cpu.MXCSR.ClearFlags()
 	if s.state == StateIndividual {

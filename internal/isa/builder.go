@@ -286,6 +286,16 @@ func (b *Builder) Fstv(rs1 int, disp int64, xs int) {
 	b.emit(Inst{Op: OpFSTV, Rs1: uint8(rs1), Rs2: uint8(xs), Imm: disp})
 }
 
+// Fldvz loads a full 512-bit vector register.
+func (b *Builder) Fldvz(xd, rs1 int, disp int64) {
+	b.emit(Inst{Op: OpFLDVZ, Rd: uint8(xd), Rs1: uint8(rs1), Imm: disp})
+}
+
+// Fstvz stores a full 512-bit vector register.
+func (b *Builder) Fstvz(rs1 int, disp int64, xs int) {
+	b.emit(Inst{Op: OpFSTVZ, Rs1: uint8(rs1), Rs2: uint8(xs), Imm: disp})
+}
+
 // Ldmxcsr replaces the whole %mxcsr register from mem32[rs1+disp] — the
 // application's direct write channel to FP control state, bypassing the
 // interposable fe* libc surface entirely.
@@ -311,6 +321,28 @@ func (b *Builder) FP2(op Opcode, xd, xs1, xs2 int) {
 // xd = op(xs1).
 func (b *Builder) FP1(op Opcode, xd, xs1 int) {
 	b.emit(Inst{Op: op, Rd: uint8(xd), Rs1: uint8(xs1), Rs2: uint8(xs1)})
+}
+
+// FP2Masked emits a write-masked two-source arithmetic instruction:
+// xd = op(xs1, xs2) on lanes whose bit is set in mask register k;
+// other lanes keep xd's old contents and raise nothing.
+func (b *Builder) FP2Masked(op Opcode, xd, xs1, xs2, k int) {
+	b.emit(Inst{Op: op, Rd: uint8(xd), Rs1: uint8(xs1), Rs2: uint8(xs2), Rs3: uint8(k)})
+}
+
+// FP1Masked emits a write-masked one-source instruction (masked sqrt).
+func (b *Builder) FP1Masked(op Opcode, xd, xs1, k int) {
+	b.emit(Inst{Op: op, Rd: uint8(xd), Rs1: uint8(xs1), Rs2: uint8(xs1), Rs3: uint8(k)})
+}
+
+// Kmovq moves an integer register into a mask register.
+func (b *Builder) Kmovq(kd, rs int) {
+	b.emit(Inst{Op: OpKMOVQ, Rd: uint8(kd), Rs1: uint8(rs)})
+}
+
+// Kmovrq moves a mask register into an integer register.
+func (b *Builder) Kmovrq(rd, ks int) {
+	b.emit(Inst{Op: OpKMOVRQ, Rd: uint8(rd), Rs1: uint8(ks)})
 }
 
 // FMA emits a fused multiply-add form: xd = ±(xa*xb) ± xc.

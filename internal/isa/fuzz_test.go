@@ -12,6 +12,16 @@ func FuzzEncodeDecodeRoundTrip(f *testing.F) {
 	f.Add(byte(0), byte(0), byte(0), byte(0))
 	f.Add(byte(uint16(OpADDSD)), byte(uint16(OpADDSD)>>8), byte(0x12), byte(0x34))
 	f.Add(byte(0xFF), byte(0xFF), byte(0xFF), byte(0xFF))
+	// 512-bit, write-masked, and mask-register forms: the masked forms
+	// carry the mask register in the Rs3 nibble, which must round-trip.
+	f.Add(byte(uint16(OpVADDPDZ)), byte(uint16(OpVADDPDZ)>>8), byte(0x21), byte(0x30))
+	f.Add(byte(uint16(OpVMULPDKZ)), byte(uint16(OpVMULPDKZ)>>8), byte(0x31), byte(0x25))
+	f.Add(byte(uint16(OpVSQRTPSKZ)), byte(uint16(OpVSQRTPSKZ)>>8), byte(0x40), byte(0x07))
+	f.Add(byte(uint16(OpVFMADDPDZ)), byte(uint16(OpVFMADDPDZ)>>8), byte(0x12), byte(0x34))
+	f.Add(byte(uint16(OpKMOVQ)), byte(uint16(OpKMOVQ)>>8), byte(0x15), byte(0x00))
+	f.Add(byte(uint16(OpKMOVRQ)), byte(uint16(OpKMOVRQ)>>8), byte(0x61), byte(0x00))
+	f.Add(byte(uint16(OpFLDVZ)), byte(uint16(OpFLDVZ)>>8), byte(0x24), byte(0x00))
+	f.Add(byte(uint16(OpFSTVZ)), byte(uint16(OpFSTVZ)>>8), byte(0x04), byte(0x20))
 
 	f.Fuzz(func(t *testing.T, b0, b1, b2, b3 byte) {
 		word := [InstBytes]byte{b0, b1, b2, b3}

@@ -34,7 +34,12 @@ const (
 	SP = R15
 )
 
-// Vector register names (X0..X15), each 256 bits wide.
+// VecWords is the width of a vector register in 64-bit words. Registers
+// are 512 bits wide (zmm-shaped); narrower forms use the low lanes and
+// leave the rest untouched, as SSE/AVX do on real hardware.
+const VecWords = 8
+
+// Vector register names (X0..X15), each VecWords*64 bits wide.
 const (
 	X0 = iota
 	X1
@@ -53,6 +58,20 @@ const (
 	X14
 	X15
 	NumVecRegs = 16
+)
+
+// Mask register names (K0..K7), 64 bits each; only the low Lanes bits of
+// a mask participate in a masked instruction.
+const (
+	K0 = iota
+	K1
+	K2
+	K3
+	K4
+	K5
+	K6
+	K7
+	NumMaskRegs = 8
 )
 
 // Inst is one decoded instruction. Register fields are interpreted by
@@ -109,11 +128,16 @@ func (i Inst) String() string {
 			return fmt.Sprintf("st [r%d%+d], r%d", i.Rs1, i.Imm, i.Rs2)
 		case OpLDMXCSR, OpSTMXCSR:
 			return fmt.Sprintf("%s [r%d%+d]", info.Name, i.Rs1, i.Imm)
-		case OpFLD, OpFLDS, OpFLDV:
+		case OpFLD, OpFLDS, OpFLDV, OpFLDVZ:
 			return fmt.Sprintf("%s x%d, [r%d%+d]", info.Name, i.Rd, i.Rs1, i.Imm)
 		default:
 			return fmt.Sprintf("%s [r%d%+d], x%d", info.Name, i.Rs1, i.Imm, i.Rs2)
 		}
+	case ClassMask:
+		if i.Op == OpKMOVRQ {
+			return fmt.Sprintf("%s r%d, k%d", info.Name, i.Rd, i.Rs1)
+		}
+		return fmt.Sprintf("%s k%d, r%d", info.Name, i.Rd, i.Rs1)
 	case ClassFMA:
 		return fmt.Sprintf("%s x%d, x%d, x%d, x%d", info.Name, i.Rd, i.Rs1, i.Rs2, i.Rs3)
 	case ClassFPCompare:
@@ -133,6 +157,9 @@ func (i Inst) String() string {
 	case ClassFPRound:
 		return fmt.Sprintf("%s x%d, x%d, %d", info.Name, i.Rd, i.Rs1, i.Imm)
 	default:
+		if info.Masked {
+			return fmt.Sprintf("%s x%d, x%d, x%d {k%d}", info.Name, i.Rd, i.Rs1, i.Rs2, i.Rs3)
+		}
 		return fmt.Sprintf("%s x%d, x%d, x%d", info.Name, i.Rd, i.Rs1, i.Rs2)
 	}
 }

@@ -36,6 +36,9 @@ const (
 	ClassFPDot
 	// ClassFPMove covers register/lane moves that never raise flags.
 	ClassFPMove
+	// ClassMask covers mask-register moves (kmov forms); like FP moves
+	// they never raise flags and never touch MXCSR.
+	ClassMask
 	// ClassSys covers halt, nop, syscalls, and libc calls.
 	ClassSys
 )
@@ -130,6 +133,11 @@ type OpInfo struct {
 	Cvt ConvertKind
 	// Signaling marks comi (vs ucomi) compare forms.
 	Signaling bool
+	// Masked marks AVX512-style write-masked forms: the mask register is
+	// carried in the instruction's Rs3 field, masked-off lanes neither
+	// compute nor raise flags and keep the destination's old contents
+	// (merge masking), matching SDE's masking-aware accounting.
+	Masked bool
 }
 
 var opTable []OpInfo
@@ -193,6 +201,14 @@ func cmpOp(name string, prec Precision, signaling, vex bool) Opcode {
 
 func roundOp(name string, prec Precision, lanes int, vex bool) Opcode {
 	return register(OpInfo{Name: name, Class: ClassFPRound, Prec: prec, Lanes: lanes, VEX: vex})
+}
+
+func fpArithMasked(name string, op FPOp, prec Precision, lanes int) Opcode {
+	return register(OpInfo{Name: name, Class: ClassFPArith, FP: op, Prec: prec, Lanes: lanes, VEX: true, Masked: true})
+}
+
+func maskOp(name string) Opcode {
+	return register(OpInfo{Name: name, Class: ClassMask})
 }
 
 // Integer and control opcodes.
@@ -365,4 +381,59 @@ var (
 var (
 	OpVDPPS = register(OpInfo{Name: "vdpps", Class: ClassFPDot, Prec: F32, Lanes: 8, VEX: true})
 	OpDPPS  = register(OpInfo{Name: "dpps", Class: ClassFPDot, Prec: F32, Lanes: 4})
+)
+
+// AVX512-shaped 512-bit packed arithmetic ("z" suffix: zmm-width). The
+// paper's study predates AVX512-heavy builds, but SDE's FLOP accounting
+// (which these counters mirror) is defined in terms of these widths and
+// their write masks, so the batch path models them: 8 f64 lanes or 16
+// f32 lanes per instruction.
+var (
+	OpVADDPDZ  = fpArith("vaddpdz", FPAdd, F64, 8, true)
+	OpVSUBPDZ  = fpArith("vsubpdz", FPSub, F64, 8, true)
+	OpVMULPDZ  = fpArith("vmulpdz", FPMul, F64, 8, true)
+	OpVDIVPDZ  = fpArith("vdivpdz", FPDiv, F64, 8, true)
+	OpVSQRTPDZ = fpArith("vsqrtpdz", FPSqrt, F64, 8, true)
+	OpVMINPDZ  = fpArith("vminpdz", FPMin, F64, 8, true)
+	OpVMAXPDZ  = fpArith("vmaxpdz", FPMax, F64, 8, true)
+	OpVADDPSZ  = fpArith("vaddpsz", FPAdd, F32, 16, true)
+	OpVSUBPSZ  = fpArith("vsubpsz", FPSub, F32, 16, true)
+	OpVMULPSZ  = fpArith("vmulpsz", FPMul, F32, 16, true)
+	OpVDIVPSZ  = fpArith("vdivpsz", FPDiv, F32, 16, true)
+	OpVSQRTPSZ = fpArith("vsqrtpsz", FPSqrt, F32, 16, true)
+	OpVMINPSZ  = fpArith("vminpsz", FPMin, F32, 16, true)
+	OpVMAXPSZ  = fpArith("vmaxpsz", FPMax, F32, 16, true)
+
+	OpVFMADDPDZ = fmaOp("vfmaddpdz", FMAdd, F64, 8)
+	OpVFMADDPSZ = fmaOp("vfmaddpsz", FMAdd, F32, 16)
+)
+
+// Write-masked 512-bit arithmetic ("k" suffix). The mask register rides
+// in Rs3 (unused by two-source arithmetic), so the 4-byte encoding and
+// its round-trip properties are unchanged. Masked-off lanes neither
+// compute nor raise exceptions and keep the old destination lane.
+var (
+	OpVADDPDKZ  = fpArithMasked("vaddpdzk", FPAdd, F64, 8)
+	OpVSUBPDKZ  = fpArithMasked("vsubpdzk", FPSub, F64, 8)
+	OpVMULPDKZ  = fpArithMasked("vmulpdzk", FPMul, F64, 8)
+	OpVDIVPDKZ  = fpArithMasked("vdivpdzk", FPDiv, F64, 8)
+	OpVSQRTPDKZ = fpArithMasked("vsqrtpdzk", FPSqrt, F64, 8)
+	OpVMINPDKZ  = fpArithMasked("vminpdzk", FPMin, F64, 8)
+	OpVMAXPDKZ  = fpArithMasked("vmaxpdzk", FPMax, F64, 8)
+	OpVADDPSKZ  = fpArithMasked("vaddpszk", FPAdd, F32, 16)
+	OpVSUBPSKZ  = fpArithMasked("vsubpszk", FPSub, F32, 16)
+	OpVMULPSKZ  = fpArithMasked("vmulpszk", FPMul, F32, 16)
+	OpVDIVPSKZ  = fpArithMasked("vdivpszk", FPDiv, F32, 16)
+	OpVSQRTPSKZ = fpArithMasked("vsqrtpszk", FPSqrt, F32, 16)
+	OpVMINPSKZ  = fpArithMasked("vminpszk", FPMin, F32, 16)
+	OpVMAXPSKZ  = fpArithMasked("vmaxpszk", FPMax, F32, 16)
+)
+
+// 512-bit vector load/store and mask-register moves.
+var (
+	OpFLDVZ = memOp("fldvz") // xd = mem512[rs1+disp]
+	OpFSTVZ = memOp("fstvz") // mem512[rs1+disp] = xs2
+
+	OpKMOVQ  = maskOp("kmovq")  // kd = rs1
+	OpKMOVRQ = maskOp("kmovrq") // rd = ks1
 )

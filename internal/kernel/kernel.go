@@ -124,6 +124,10 @@ type Kernel struct {
 	// tests and ablations; the two paths are bit-identical by
 	// construction, so leaving this false is always safe.
 	NoFastPath bool
+	// NoSuperblock keeps the fast path but disables the superblock
+	// region cache, falling back to the per-instruction Step loop (the
+	// FPE_NOSUPERBLOCK ablation). Bit-identical to the default engine.
+	NoSuperblock bool
 	// Inject, when non-nil, enables seeded chaos perturbations (delayed
 	// signal delivery, adversarial scheduling). Nil for normal runs.
 	Inject *Inject
@@ -208,7 +212,9 @@ func (p *Process) allocStack() uint64 {
 func (k *Kernel) addTask(p *Process, m *machine.Machine) *Task {
 	if k.Obs != nil {
 		m.Obs = &k.Obs.Machine
+		m.Flops = &k.Obs.Flop
 	}
+	m.NoSuperblock = k.NoSuperblock
 	t := &Task{TID: k.nextTID, Proc: p, M: m}
 	k.nextTID++
 	p.Tasks = append(p.Tasks, t)

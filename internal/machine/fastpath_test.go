@@ -164,20 +164,46 @@ func TestRunStraightMatchesStep(t *testing.T) {
 	}
 }
 
-// TestRunStraightRefusesTF pins the fast path's precondition: with TF
-// set it must do nothing so the caller's precise path delivers the trap.
-func TestRunStraightRefusesTF(t *testing.T) {
+// TestRunStraightTFStepsOnce pins the TF-mode bailout: with TF set the
+// fast path must execute exactly one stepped instruction and return its
+// trap event, crediting the same retirement (and thus the same
+// virtual-timer progress) the precise path would — not silently return
+// (0, nil) and leave the caller to re-drive the instruction.
+func TestRunStraightTFStepsOnce(t *testing.T) {
 	b := isa.NewBuilder("tf")
 	b.Movi(isa.R1, 1)
 	b.Hlt()
 	m := New(b.Build(), 64)
 	m.CPU.TF = true
 	n, ev := m.RunStraight(10)
-	if n != 0 || ev != nil {
-		t.Fatalf("RunStraight under TF ran %d steps, ev %T", n, ev)
+	if n != 0 {
+		t.Fatalf("RunStraight under TF credited %d clean retires, want 0", n)
 	}
-	if m.Retired != 0 {
-		t.Fatal("instructions retired under TF fast path")
+	tr, ok := ev.(*TrapEvent)
+	if !ok {
+		t.Fatalf("RunStraight under TF returned %T, want *TrapEvent", ev)
+	}
+	if tr.Addr != m.Prog.AddrOf(0) || tr.Next != m.Prog.AddrOf(1) {
+		t.Errorf("trap addr=%#x next=%#x, want %#x/%#x",
+			tr.Addr, tr.Next, m.Prog.AddrOf(0), m.Prog.AddrOf(1))
+	}
+	if m.Retired != 1 {
+		t.Fatalf("Retired = %d after TF fast path, want 1 (timer parity with Step)", m.Retired)
+	}
+	if m.CPU.R[isa.R1] != 1 {
+		t.Error("the TF-stepped instruction did not execute")
+	}
+
+	// The stepped path on an identical machine must land in the same state.
+	ref := New(b.Build(), 64)
+	ref.CPU.TF = true
+	rev := ref.Step()
+	if rev == nil {
+		t.Fatal("reference Step under TF produced no event")
+	}
+	if ref.Retired != m.Retired || ref.CPU.RIP != m.CPU.RIP {
+		t.Errorf("TF fast path diverged from stepping: retired %d/%d rip %#x/%#x",
+			m.Retired, ref.Retired, m.CPU.RIP, ref.CPU.RIP)
 	}
 }
 

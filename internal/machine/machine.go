@@ -29,8 +29,11 @@ type CPU struct {
 	// R is the integer register file; R[0] reads as zero and ignores
 	// writes. R[15] is the stack pointer by convention.
 	R [isa.NumIntRegs]uint64
-	// X is the 256-bit vector register file, 4 lanes of 64 bits each.
-	X [isa.NumVecRegs][4]uint64
+	// X is the 512-bit vector register file, isa.VecWords lanes of 64
+	// bits each. Narrower instruction forms touch only their low lanes.
+	X [isa.NumVecRegs][isa.VecWords]uint64
+	// K is the write-mask register file (AVX512-style k0..k7).
+	K [isa.NumMaskRegs]uint64
 	// RIP is the address of the next instruction.
 	RIP uint64
 	// TF is the single-step trap flag (RFLAGS.TF).
@@ -136,8 +139,27 @@ type Machine struct {
 	// internal/binscan/absint). Marked arithmetic sites retire on native
 	// hardware floating point instead of the softfloat interpreter —
 	// bit-identical results, no flag updates, no trap checks. Nil (the
-	// default) disables pruning entirely.
+	// default) disables pruning entirely. Mutate through SetQuietFP so
+	// cached superblock metadata observes the change.
 	QuietFP []bool
+	// Flops, when non-nil, receives SDE-style FLOP accounting: per-op,
+	// per-precision counts of retired floating point lane operations
+	// (FMA counts 2 per lane, masked-off lanes count as skipped). Nil
+	// means no accounting, same contract as Obs.
+	Flops *obs.FlopMetrics
+	// NoSuperblock disables the superblock region cache: RunStraight
+	// falls back to per-instruction Step dispatch. This is the
+	// FPE_NOSUPERBLOCK ablation knob; results are bit-identical either
+	// way.
+	NoSuperblock bool
+
+	// codeVersion tags cached superblock regions; anything that changes
+	// how an instruction executes in place (breakpoint stubbing, prune
+	// table swaps) bumps it, invalidating every cached region at once.
+	codeVersion uint64
+	// sbCache holds decoded straight-line regions by start instruction
+	// index, allocated lazily on the first superblock dispatch.
+	sbCache []sbRegion
 
 	// nextIdx caches the instruction index of CPU.RIP, or -1 when
 	// unknown. It is always validated against RIP before use (AddrOf of
@@ -164,6 +186,7 @@ func (m *Machine) SetBreakpoint(addr uint64) {
 		m.Breakpoints = make(map[uint64]bool)
 	}
 	m.Breakpoints[addr] = true
+	m.codeVersion++
 	if m.Obs != nil {
 		m.Obs.BreakpointsArmed.Inc()
 	}
@@ -172,6 +195,15 @@ func (m *Machine) SetBreakpoint(addr uint64) {
 // ClearBreakpoint restores the instruction at addr.
 func (m *Machine) ClearBreakpoint(addr uint64) {
 	delete(m.Breakpoints, addr)
+	m.codeVersion++
+}
+
+// SetQuietFP installs (or removes, with nil) the statically-proven-quiet
+// site table, invalidating cached superblock regions whose metadata
+// bakes in the old prune verdicts.
+func (m *Machine) SetQuietFP(table []bool) {
+	m.QuietFP = table
+	m.codeVersion++
 }
 
 // New creates a machine for prog with memSize bytes of zeroed memory,
@@ -318,43 +350,9 @@ func (m *Machine) Step() Event {
 		}
 
 	case isa.ClassInt:
-		a := c.reg(inst.Rs1)
-		b := c.reg(inst.Rs2)
-		var v uint64
-		switch inst.Op {
-		case isa.OpMOVI:
-			v = uint64(inst.Imm)
-		case isa.OpMOV:
-			v = a
-		case isa.OpADD:
-			v = a + b
-		case isa.OpADDI:
-			v = a + uint64(inst.Imm)
-		case isa.OpSUB:
-			v = a - b
-		case isa.OpMULQ:
-			v = uint64(int64(a) * int64(b))
-		case isa.OpDIVQ, isa.OpREMQ:
-			if b == 0 {
-				return m.faultEvent("integer divide by zero", addr)
-			}
-			if inst.Op == isa.OpDIVQ {
-				v = uint64(int64(a) / int64(b))
-			} else {
-				v = uint64(int64(a) % int64(b))
-			}
-		case isa.OpAND:
-			v = a & b
-		case isa.OpOR:
-			v = a | b
-		case isa.OpXOR:
-			v = a ^ b
-		case isa.OpSHLI:
-			v = a << uint(inst.Imm)
-		case isa.OpSHRI:
-			v = a >> uint(inst.Imm)
+		if ev := m.execInt(inst, addr); ev != nil {
+			return ev
 		}
-		c.setReg(inst.Rd, v)
 
 	case isa.ClassBranch:
 		a := int64(c.reg(inst.Rs1))
@@ -401,84 +399,15 @@ func (m *Machine) Step() Event {
 		}
 
 	case isa.ClassMem:
-		base := c.reg(inst.Rs1)
-		ea := base + uint64(inst.Imm)
-		switch inst.Op {
-		case isa.OpLD:
-			v, ok := m.load64(ea)
-			if !ok {
-				return m.memFault(addr, ea)
-			}
-			c.setReg(inst.Rd, v)
-		case isa.OpST:
-			if !m.store64(ea, c.reg(inst.Rs2)) {
-				return m.memFault(addr, ea)
-			}
-		case isa.OpFLD:
-			v, ok := m.load64(ea)
-			if !ok {
-				return m.memFault(addr, ea)
-			}
-			c.X[inst.Rd][0] = v
-		case isa.OpFST:
-			if !m.store64(ea, c.X[inst.Rs2][0]) {
-				return m.memFault(addr, ea)
-			}
-		case isa.OpFLDS:
-			v, ok := m.load32(ea)
-			if !ok {
-				return m.memFault(addr, ea)
-			}
-			c.X[inst.Rd][0] = uint64(v) // upper bits zeroed, movss load semantics
-		case isa.OpFSTS:
-			if !m.store32(ea, uint32(c.X[inst.Rs2][0])) {
-				return m.memFault(addr, ea)
-			}
-		case isa.OpFLDV:
-			for l := 0; l < 4; l++ {
-				v, ok := m.load64(ea + uint64(l)*8)
-				if !ok {
-					return m.memFault(addr, ea)
-				}
-				c.X[inst.Rd][l] = v
-			}
-		case isa.OpFSTV:
-			for l := 0; l < 4; l++ {
-				if !m.store64(ea+uint64(l)*8, c.X[inst.Rs2][l]) {
-					return m.memFault(addr, ea)
-				}
-			}
-		case isa.OpLDMXCSR:
-			v, ok := m.load32(ea)
-			if !ok {
-				return m.memFault(addr, ea)
-			}
-			c.MXCSR = mxcsr.Reg(v)
-			if m.Obs != nil {
-				m.Obs.GuestMXCSRWrites.Inc()
-			}
-		case isa.OpSTMXCSR:
-			if !m.store32(ea, uint32(c.MXCSR)) {
-				return m.memFault(addr, ea)
-			}
-			if m.Obs != nil {
-				m.Obs.GuestMXCSRReads.Inc()
-			}
+		if ev := m.execMem(inst, addr); ev != nil {
+			return ev
 		}
 
 	case isa.ClassFPMove:
-		switch inst.Op {
-		case isa.OpMOVSD:
-			c.X[inst.Rd][0] = c.X[inst.Rs1][0]
-		case isa.OpMOVSS:
-			c.setLane32(inst.Rd, 0, c.lane32(inst.Rs1, 0))
-		case isa.OpMOVAPD:
-			c.X[inst.Rd] = c.X[inst.Rs1]
-		case isa.OpMOVQX:
-			c.X[inst.Rd][0] = c.reg(inst.Rs1)
-		case isa.OpMOVXQ:
-			c.setReg(inst.Rd, c.X[inst.Rs1][0])
-		}
+		m.execMove(inst)
+
+	case isa.ClassMask:
+		m.execMask(inst)
 
 	default:
 		// Floating point execute path: statically-proven-quiet sites
@@ -493,6 +422,153 @@ func (m *Machine) Step() Event {
 	}
 
 	return m.retireTo(addr, next, idx+1)
+}
+
+// execInt executes an integer ALU instruction. A non-nil event (divide
+// fault) means the instruction did not retire.
+func (m *Machine) execInt(inst *isa.Inst, addr uint64) Event {
+	c := &m.CPU
+	a := c.reg(inst.Rs1)
+	b := c.reg(inst.Rs2)
+	var v uint64
+	switch inst.Op {
+	case isa.OpMOVI:
+		v = uint64(inst.Imm)
+	case isa.OpMOV:
+		v = a
+	case isa.OpADD:
+		v = a + b
+	case isa.OpADDI:
+		v = a + uint64(inst.Imm)
+	case isa.OpSUB:
+		v = a - b
+	case isa.OpMULQ:
+		v = uint64(int64(a) * int64(b))
+	case isa.OpDIVQ, isa.OpREMQ:
+		if b == 0 {
+			return m.faultEvent("integer divide by zero", addr)
+		}
+		if inst.Op == isa.OpDIVQ {
+			v = uint64(int64(a) / int64(b))
+		} else {
+			v = uint64(int64(a) % int64(b))
+		}
+	case isa.OpAND:
+		v = a & b
+	case isa.OpOR:
+		v = a | b
+	case isa.OpXOR:
+		v = a ^ b
+	case isa.OpSHLI:
+		v = a << uint(inst.Imm)
+	case isa.OpSHRI:
+		v = a >> uint(inst.Imm)
+	}
+	c.setReg(inst.Rd, v)
+	return nil
+}
+
+// execMem executes a load/store/MXCSR-access instruction. A non-nil
+// event (memory fault) means the instruction did not retire; partial
+// vector stores before a fault match the stepped path by construction
+// since both run this code.
+func (m *Machine) execMem(inst *isa.Inst, addr uint64) Event {
+	c := &m.CPU
+	ea := c.reg(inst.Rs1) + uint64(inst.Imm)
+	switch inst.Op {
+	case isa.OpLD:
+		v, ok := m.load64(ea)
+		if !ok {
+			return m.memFault(addr, ea)
+		}
+		c.setReg(inst.Rd, v)
+	case isa.OpST:
+		if !m.store64(ea, c.reg(inst.Rs2)) {
+			return m.memFault(addr, ea)
+		}
+	case isa.OpFLD:
+		v, ok := m.load64(ea)
+		if !ok {
+			return m.memFault(addr, ea)
+		}
+		c.X[inst.Rd][0] = v
+	case isa.OpFST:
+		if !m.store64(ea, c.X[inst.Rs2][0]) {
+			return m.memFault(addr, ea)
+		}
+	case isa.OpFLDS:
+		v, ok := m.load32(ea)
+		if !ok {
+			return m.memFault(addr, ea)
+		}
+		c.X[inst.Rd][0] = uint64(v) // upper bits zeroed, movss load semantics
+	case isa.OpFSTS:
+		if !m.store32(ea, uint32(c.X[inst.Rs2][0])) {
+			return m.memFault(addr, ea)
+		}
+	case isa.OpFLDV:
+		for l := 0; l < 4; l++ {
+			v, ok := m.load64(ea + uint64(l)*8)
+			if !ok {
+				return m.memFault(addr, ea)
+			}
+			c.X[inst.Rd][l] = v
+		}
+	case isa.OpFSTV:
+		for l := 0; l < 4; l++ {
+			if !m.store64(ea+uint64(l)*8, c.X[inst.Rs2][l]) {
+				return m.memFault(addr, ea)
+			}
+		}
+	case isa.OpFLDVZ:
+		for l := 0; l < isa.VecWords; l++ {
+			v, ok := m.load64(ea + uint64(l)*8)
+			if !ok {
+				return m.memFault(addr, ea)
+			}
+			c.X[inst.Rd][l] = v
+		}
+	case isa.OpFSTVZ:
+		for l := 0; l < isa.VecWords; l++ {
+			if !m.store64(ea+uint64(l)*8, c.X[inst.Rs2][l]) {
+				return m.memFault(addr, ea)
+			}
+		}
+	case isa.OpLDMXCSR:
+		v, ok := m.load32(ea)
+		if !ok {
+			return m.memFault(addr, ea)
+		}
+		c.MXCSR = mxcsr.Reg(v)
+		if m.Obs != nil {
+			m.Obs.GuestMXCSRWrites.Inc()
+		}
+	case isa.OpSTMXCSR:
+		if !m.store32(ea, uint32(c.MXCSR)) {
+			return m.memFault(addr, ea)
+		}
+		if m.Obs != nil {
+			m.Obs.GuestMXCSRReads.Inc()
+		}
+	}
+	return nil
+}
+
+// execMove executes a flagless vector register move.
+func (m *Machine) execMove(inst *isa.Inst) {
+	c := &m.CPU
+	switch inst.Op {
+	case isa.OpMOVSD:
+		c.X[inst.Rd][0] = c.X[inst.Rs1][0]
+	case isa.OpMOVSS:
+		c.setLane32(inst.Rd, 0, c.lane32(inst.Rs1, 0))
+	case isa.OpMOVAPD:
+		c.X[inst.Rd] = c.X[inst.Rs1]
+	case isa.OpMOVQX:
+		c.X[inst.Rd][0] = c.reg(inst.Rs1)
+	case isa.OpMOVXQ:
+		c.setReg(inst.Rd, c.X[inst.Rs1][0])
+	}
 }
 
 // retire advances RIP and the retirement counter without checking TF

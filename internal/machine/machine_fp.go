@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"math/bits"
+
 	"repro/internal/isa"
 	"repro/internal/softfloat"
 )
@@ -8,7 +10,7 @@ import (
 // fpStage stages the writeback of a floating point instruction so faults
 // can be delivered before any architectural state changes.
 type fpStage struct {
-	vec    [4]uint64 // staged vector destination
+	vec    [isa.VecWords]uint64 // staged vector destination
 	vecSet bool
 	intVal uint64 // staged integer destination
 	intSet bool
@@ -51,24 +53,176 @@ func (m *Machine) execFP(inst *isa.Inst, info *isa.OpInfo, idx int, addr uint64)
 	if st.intSet {
 		c.setReg(inst.Rd, st.intVal)
 	}
+	if m.Flops != nil {
+		m.countFlops(inst, info)
+	}
 	return nil
 }
 
-// lane32 of a staged vector.
-func stLane32(v *[4]uint64, i int) uint32 {
-	return uint32(v[i/2] >> (32 * uint(i%2)))
-}
-
-func stSetLane32(v *[4]uint64, i int, x uint32) {
+func stSetLane32(v *[isa.VecWords]uint64, i int, x uint32) {
 	shift := 32 * uint(i%2)
 	v[i/2] = v[i/2]&^(uint64(0xFFFFFFFF)<<shift) | uint64(x)<<shift
 }
 
+// execMask executes mask-register moves; like FP moves they never raise
+// flags and never read MXCSR.
+func (m *Machine) execMask(inst *isa.Inst) {
+	c := &m.CPU
+	switch inst.Op {
+	case isa.OpKMOVQ:
+		c.K[inst.Rd%isa.NumMaskRegs] = c.reg(inst.Rs1)
+	case isa.OpKMOVRQ:
+		c.setReg(inst.Rd, c.K[inst.Rs1%isa.NumMaskRegs])
+	}
+}
+
+// laneMask returns the live write mask of a masked instruction,
+// truncated to its lane count.
+func (m *Machine) laneMask(inst *isa.Inst, info *isa.OpInfo) uint64 {
+	return m.CPU.K[inst.Rs3%isa.NumMaskRegs] & (1<<uint(info.Lanes) - 1)
+}
+
+// cvtSingle reports whether a conversion form is accounted under single
+// precision: the forms whose floating point side is binary32. Mixed
+// forms (ss2sd, sd2ss) count under their binary32 end, following SDE's
+// element-precision attribution.
+func cvtSingle(kind isa.ConvertKind) bool {
+	switch kind {
+	case isa.CvtSD2SS, isa.CvtSS2SD, isa.CvtSI2SS, isa.CvtSI2SSQ,
+		isa.CvtSS2SI, isa.CvtTSS2SI, isa.CvtPS2DQ:
+		return true
+	}
+	return false
+}
+
+// countFlops credits the SDE-style FLOP accounting group for one retired
+// floating point instruction. It must only run at retirement (a faulted
+// instruction performed no architectural work), and it is shared by
+// every execution engine — interpreted, quiet, and superblock — so the
+// counters are engine-invariant. Callers check m.Flops != nil.
+func (m *Machine) countFlops(inst *isa.Inst, info *isa.OpInfo) {
+	f := m.Flops
+	p := int(info.Prec)
+	lanes := uint64(info.Lanes)
+	if info.Masked {
+		active := uint64(bits.OnesCount64(m.laneMask(inst, info)))
+		f.MaskedSkipped.Add(lanes - active)
+		lanes = active
+	}
+	switch info.Class {
+	case isa.ClassFPArith:
+		switch info.FP {
+		case isa.FPAdd:
+			f.Add[p].Add(lanes)
+		case isa.FPSub:
+			f.Sub[p].Add(lanes)
+		case isa.FPMul:
+			f.Mul[p].Add(lanes)
+		case isa.FPDiv:
+			f.Div[p].Add(lanes)
+		case isa.FPSqrt:
+			f.Sqrt[p].Add(lanes)
+		case isa.FPMin:
+			f.Min[p].Add(lanes)
+		case isa.FPMax:
+			f.Max[p].Add(lanes)
+		}
+	case isa.ClassFMA:
+		// One fused multiply-add is two FLOPs per lane, SDE's convention.
+		f.FMA[p].Add(2 * lanes)
+	case isa.ClassFPConvert:
+		if cvtSingle(info.Cvt) {
+			p = int(isa.F32)
+		} else {
+			p = int(isa.F64)
+		}
+		f.Convert[p].Add(lanes)
+	case isa.ClassFPCompare:
+		f.Compare[p].Add(lanes)
+	case isa.ClassFPRound:
+		f.Round[p].Add(lanes)
+	case isa.ClassFPDot:
+		// dpps decomposes to 4 multiplies and 3 adds per 128-bit group.
+		groups := uint64(info.Lanes / 4)
+		f.Mul[p].Add(4 * groups)
+		f.Add[p].Add(3 * groups)
+	}
+}
+
 func (m *Machine) execArith(inst *isa.Inst, info *isa.OpInfo, env softfloat.Env, st *fpStage) {
+	if info.Masked {
+		m.execArithMasked(inst, info, env, st)
+		return
+	}
 	c := &m.CPU
 	st.vecSet = true
 	if info.Prec == isa.F64 {
+		// Lane-sliced dispatch: one opcode switch retires the whole
+		// vector. dst is the staging copy, so it never aliases a/b even
+		// when Rd is also a source.
+		a := c.X[inst.Rs1][:info.Lanes]
+		b := c.X[inst.Rs2][:info.Lanes]
+		dst := st.vec[:info.Lanes]
+		switch info.FP {
+		case isa.FPAdd:
+			st.raised |= softfloat.AddLanes64(dst, a, b, env)
+		case isa.FPSub:
+			st.raised |= softfloat.SubLanes64(dst, a, b, env)
+		case isa.FPMul:
+			st.raised |= softfloat.MulLanes64(dst, a, b, env)
+		case isa.FPDiv:
+			st.raised |= softfloat.DivLanes64(dst, a, b, env)
+		case isa.FPSqrt:
+			st.raised |= softfloat.SqrtLanes64(dst, a, env)
+		case isa.FPMin:
+			st.raised |= softfloat.MinLanes64(dst, a, b, env)
+		case isa.FPMax:
+			st.raised |= softfloat.MaxLanes64(dst, a, b, env)
+		}
+		return
+	}
+	// f32 lanes are packed two per 64-bit word: gather into flat scratch,
+	// dispatch once over the slice, scatter back into the staging vector.
+	var ab, bb, db [2 * isa.VecWords]uint32
+	for l := 0; l < info.Lanes; l++ {
+		ab[l] = c.lane32(inst.Rs1, l)
+		bb[l] = c.lane32(inst.Rs2, l)
+	}
+	a, b, dst := ab[:info.Lanes], bb[:info.Lanes], db[:info.Lanes]
+	switch info.FP {
+	case isa.FPAdd:
+		st.raised |= softfloat.AddLanes32(dst, a, b, env)
+	case isa.FPSub:
+		st.raised |= softfloat.SubLanes32(dst, a, b, env)
+	case isa.FPMul:
+		st.raised |= softfloat.MulLanes32(dst, a, b, env)
+	case isa.FPDiv:
+		st.raised |= softfloat.DivLanes32(dst, a, b, env)
+	case isa.FPSqrt:
+		st.raised |= softfloat.SqrtLanes32(dst, a, env)
+	case isa.FPMin:
+		st.raised |= softfloat.MinLanes32(dst, a, b, env)
+	case isa.FPMax:
+		st.raised |= softfloat.MaxLanes32(dst, a, b, env)
+	}
+	for l := 0; l < info.Lanes; l++ {
+		stSetLane32(&st.vec, l, db[l])
+	}
+}
+
+// execArithMasked executes a write-masked arithmetic form: only lanes
+// whose mask bit is set compute (and may raise); masked-off lanes keep
+// the destination's prior contents, which the staging preload already
+// provides (merge masking).
+func (m *Machine) execArithMasked(inst *isa.Inst, info *isa.OpInfo, env softfloat.Env, st *fpStage) {
+	c := &m.CPU
+	st.vecSet = true
+	mask := m.laneMask(inst, info)
+	if info.Prec == isa.F64 {
 		for l := 0; l < info.Lanes; l++ {
+			if mask>>uint(l)&1 == 0 {
+				continue
+			}
 			a := c.X[inst.Rs1][l]
 			b := c.X[inst.Rs2][l]
 			var z uint64
@@ -95,6 +249,9 @@ func (m *Machine) execArith(inst *isa.Inst, info *isa.OpInfo, env softfloat.Env,
 		return
 	}
 	for l := 0; l < info.Lanes; l++ {
+		if mask>>uint(l)&1 == 0 {
+			continue
+		}
 		a := c.lane32(inst.Rs1, l)
 		b := c.lane32(inst.Rs2, l)
 		var z uint32
@@ -131,25 +288,31 @@ func (m *Machine) execFMA(inst *isa.Inst, info *isa.OpInfo, env softfloat.Env, s
 	negProd := info.FMA == isa.FNMAdd || info.FMA == isa.FNMSub
 	negAdd := info.FMA == isa.FMSub || info.FMA == isa.FNMSub
 	if info.Prec == isa.F64 {
-		for l := 0; l < info.Lanes; l++ {
-			a := c.X[inst.Rs1][l]
-			b := c.X[inst.Rs2][l]
-			d := c.X[inst.Rs3][l]
-			if negProd {
-				a = negSign64(a)
+		a := c.X[inst.Rs1][:info.Lanes]
+		b := c.X[inst.Rs2][:info.Lanes]
+		d := c.X[inst.Rs3][:info.Lanes]
+		// Sign variants flip operands into scratch so the plain fused
+		// kernel serves all four forms; the common vfmadd forms pass the
+		// register slices straight through.
+		var as, ds [isa.VecWords]uint64
+		if negProd {
+			for l, v := range a {
+				as[l] = negSign64(v)
 			}
-			if negAdd {
-				d = negSign64(d)
-			}
-			z, fl := softfloat.FMA64(a, b, d, env)
-			st.vec[l] = z
-			st.raised |= fl
+			a = as[:info.Lanes]
 		}
+		if negAdd {
+			for l, v := range d {
+				ds[l] = negSign64(v)
+			}
+			d = ds[:info.Lanes]
+		}
+		st.raised |= softfloat.FMALanes64(st.vec[:info.Lanes], a, b, d, env)
 		return
 	}
+	var ab, bb, db, zb [2 * isa.VecWords]uint32
 	for l := 0; l < info.Lanes; l++ {
 		a := c.lane32(inst.Rs1, l)
-		b := c.lane32(inst.Rs2, l)
 		d := c.lane32(inst.Rs3, l)
 		if negProd {
 			a = negSign32(a)
@@ -157,9 +320,11 @@ func (m *Machine) execFMA(inst *isa.Inst, info *isa.OpInfo, env softfloat.Env, s
 		if negAdd {
 			d = negSign32(d)
 		}
-		z, fl := softfloat.FMA32(a, b, d, env)
-		stSetLane32(&st.vec, l, z)
-		st.raised |= fl
+		ab[l], bb[l], db[l] = a, c.lane32(inst.Rs2, l), d
+	}
+	st.raised |= softfloat.FMALanes32(zb[:info.Lanes], ab[:info.Lanes], bb[:info.Lanes], db[:info.Lanes], env)
+	for l := 0; l < info.Lanes; l++ {
+		stSetLane32(&st.vec, l, zb[l])
 	}
 }
 

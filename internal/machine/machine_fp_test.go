@@ -217,8 +217,8 @@ func TestScalarOpsPreserveUpperLanes(t *testing.T) {
 	b := isa.NewBuilder("upper")
 	b.Hlt()
 	m := New(b.Build(), 1<<16)
-	m.CPU.X[isa.X0] = [4]uint64{math.Float64bits(1), 111, 222, 333}
-	m.CPU.X[isa.X1] = [4]uint64{math.Float64bits(2), 444, 555, 666}
+	m.CPU.X[isa.X0] = [isa.VecWords]uint64{math.Float64bits(1), 111, 222, 333}
+	m.CPU.X[isa.X1] = [isa.VecWords]uint64{math.Float64bits(2), 444, 555, 666}
 	m.Prog.Insts = append([]isa.Inst{{Op: isa.OpADDSD, Rd: isa.X0, Rs1: isa.X0, Rs2: isa.X1}}, m.Prog.Insts...)
 	m.CPU.RIP = m.Prog.Base
 	if ev := m.Step(); ev != nil {
@@ -253,8 +253,8 @@ func TestMovssSemantics(t *testing.T) {
 	b := isa.NewBuilder("movss")
 	b.Hlt()
 	m := New(b.Build(), 1<<16)
-	m.CPU.X[isa.X0] = [4]uint64{0xAAAA_BBBB_CCCC_DDDD, 7, 8, 9}
-	m.CPU.X[isa.X1] = [4]uint64{0x1111_2222_3333_4444, 1, 2, 3}
+	m.CPU.X[isa.X0] = [isa.VecWords]uint64{0xAAAA_BBBB_CCCC_DDDD, 7, 8, 9}
+	m.CPU.X[isa.X1] = [isa.VecWords]uint64{0x1111_2222_3333_4444, 1, 2, 3}
 	m.Prog.Insts = append([]isa.Inst{{Op: isa.OpMOVSS, Rd: isa.X0, Rs1: isa.X1}}, m.Prog.Insts...)
 	m.CPU.RIP = m.Prog.Base
 	if ev := m.Step(); ev != nil {

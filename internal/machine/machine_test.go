@@ -188,8 +188,8 @@ func TestPackedLanesORFlags(t *testing.T) {
 	b := isa.NewBuilder("packed")
 	b.Hlt()
 	m := New(b.Build(), 64)
-	m.CPU.X[isa.X0] = [4]uint64{math.Float64bits(1), math.Float64bits(0.1), 0, 0}
-	m.CPU.X[isa.X1] = [4]uint64{math.Float64bits(2), math.Float64bits(0.2), 0, 0}
+	m.CPU.X[isa.X0] = [isa.VecWords]uint64{math.Float64bits(1), math.Float64bits(0.1), 0, 0}
+	m.CPU.X[isa.X1] = [isa.VecWords]uint64{math.Float64bits(2), math.Float64bits(0.2), 0, 0}
 	inst := &isa.Inst{Op: isa.OpADDPD, Rd: isa.X2, Rs1: isa.X0, Rs2: isa.X1}
 	m.Prog.Insts = append([]isa.Inst{*inst}, m.Prog.Insts...)
 	m.CPU.RIP = m.Prog.Base

@@ -31,10 +31,10 @@ func (m *Machine) quietStep(idx int, inst *isa.Inst, info *isa.OpInfo) bool {
 	if m.QuietFP == nil || idx >= len(m.QuietFP) || !m.QuietFP[idx] {
 		return false
 	}
-	if info.Class != isa.ClassFPArith {
-		// The native path implements only plain arithmetic; the analysis
-		// never marks other classes, so this is a defensive mismatch
-		// guard rather than a reachable branch.
+	if info.Class != isa.ClassFPArith || info.Masked {
+		// The native path implements only plain unmasked arithmetic; the
+		// analysis never marks other classes or masked forms, so this is
+		// a defensive mismatch guard rather than a reachable branch.
 		return false
 	}
 	if m.CPU.MXCSR.Env() != (softfloat.Env{}) {
@@ -43,6 +43,9 @@ func (m *Machine) quietStep(idx int, inst *isa.Inst, info *isa.OpInfo) bool {
 	m.execFPQuiet(inst, info)
 	if m.Obs != nil {
 		m.Obs.QuietSteps.Inc()
+	}
+	if m.Flops != nil {
+		m.countFlops(inst, info)
 	}
 	return true
 }

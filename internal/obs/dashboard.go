@@ -27,6 +27,9 @@ func RenderSummary(s Snapshot) string {
 			fmt.Fprintf(&b, "  %-36s %12d\n", name, s.Gauges[name])
 		}
 	}
+	if tbl := flopTable(s); tbl != "" {
+		b.WriteString(tbl)
+	}
 	if len(s.Histograms) > 0 {
 		b.WriteString("\nhistograms\n")
 		fmt.Fprintf(&b, "  %-36s %12s %12s %12s %14s\n",
@@ -59,6 +62,37 @@ func RenderDashboard(s Snapshot) string {
 		h := s.Histograms[name]
 		fmt.Fprintf(&b, "  %-36s n=%d min=%d max=%d mean=%.1f %s\n",
 			name, h.Count, h.Min, h.Max, h.Mean(), sparkline(h))
+	}
+	return b.String()
+}
+
+// flopTable renders the SDE-style FLOP accounting as a per-op
+// double/single table with totals, or "" when nothing was counted.
+func flopTable(s Snapshot) string {
+	var b strings.Builder
+	var total [FlopPrecisions]uint64
+	rows := 0
+	fmt.Fprintf(&b, "\nflops (SDE convention: lane ops, fma=2)\n")
+	fmt.Fprintf(&b, "  %-12s %12s %12s\n", "op", "double", "single")
+	for _, op := range flopOpNames {
+		var v [FlopPrecisions]uint64
+		any := false
+		for p := 0; p < FlopPrecisions; p++ {
+			v[p] = s.Counters[FlopCounterName(op, p)]
+			total[p] += v[p]
+			any = any || v[p] > 0
+		}
+		if any {
+			fmt.Fprintf(&b, "  %-12s %12d %12d\n", op, v[0], v[1])
+			rows++
+		}
+	}
+	if rows == 0 {
+		return ""
+	}
+	fmt.Fprintf(&b, "  %-12s %12d %12d\n", "total", total[0], total[1])
+	if skipped := s.Counters[NameFlopMaskedSkipped]; skipped > 0 {
+		fmt.Fprintf(&b, "  %-12s %12d lanes suppressed by write masks\n", "masked", skipped)
 	}
 	return b.String()
 }

@@ -42,6 +42,9 @@ type Metrics struct {
 	// Prune instruments the static trap-site pruning pipeline
 	// (internal/binscan/absint verdicts applied by the spy).
 	Prune PruneMetrics
+	// Flop holds SDE-style FLOP accounting from internal/machine:
+	// per-op, per-precision retired lane operations.
+	Flop FlopMetrics
 	// Study instruments the pass scheduler in internal/study.
 	Study StudyMetrics
 	// Server instruments the fpspyd daemon in internal/server.
@@ -121,6 +124,15 @@ func (m *Metrics) PruneMetricsOrNil() *PruneMetrics {
 		return nil
 	}
 	return &m.Prune
+}
+
+// FlopMetricsOrNil returns the FLOP accounting group, or nil when
+// observability is disabled.
+func (m *Metrics) FlopMetricsOrNil() *FlopMetrics {
+	if m == nil {
+		return nil
+	}
+	return &m.Flop
 }
 
 // StudyMetricsOrNil returns the study instrument group, or nil when
@@ -218,6 +230,66 @@ type PruneMetrics struct {
 	// EnvVarying counts analyses that found a reachable ldmxcsr and so
 	// disabled pruning for the whole program.
 	EnvVarying Counter
+}
+
+// FlopPrecisions indexes the per-precision counter pairs of
+// FlopMetrics: 0 is binary64 (double), 1 is binary32 (single), matching
+// isa.Precision's F64/F32 values.
+const FlopPrecisions = 2
+
+// FlopMetrics is the SDE-style FLOP accounting group, fed by
+// internal/machine at instruction retirement. Counts are lane
+// operations (a packed op credits one per active lane), split double/
+// single per FlopPrecisions; a fused multiply-add credits 2 per lane
+// and dpps decomposes into its multiplies and adds. Masked-off lanes of
+// write-masked forms credit MaskedSkipped instead — they neither
+// compute nor raise, mirroring SDE's masking awareness. The counters
+// are engine-invariant: interpreted, quiet-pruned, and superblock
+// execution credit identically, and only retired instructions count (a
+// faulted instruction performed no architectural work).
+type FlopMetrics struct {
+	// Add through Max count ClassFPArith lane operations by FPOp.
+	Add  [FlopPrecisions]Counter
+	Sub  [FlopPrecisions]Counter
+	Mul  [FlopPrecisions]Counter
+	Div  [FlopPrecisions]Counter
+	Sqrt [FlopPrecisions]Counter
+	Min  [FlopPrecisions]Counter
+	Max  [FlopPrecisions]Counter
+	// FMA counts fused multiply-add lane operations at 2 per lane.
+	FMA [FlopPrecisions]Counter
+	// Convert, Compare, and Round count their classes' lane operations;
+	// conversions are attributed to the binary32 side of mixed forms.
+	Convert [FlopPrecisions]Counter
+	Compare [FlopPrecisions]Counter
+	Round   [FlopPrecisions]Counter
+	// MaskedSkipped counts lanes suppressed by a write mask.
+	MaskedSkipped Counter
+}
+
+// Total returns the total FLOP count across ops and precisions
+// (MaskedSkipped excluded — skipped lanes are not FLOPs).
+func (f *FlopMetrics) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	var sum uint64
+	for p := 0; p < FlopPrecisions; p++ {
+		sum += f.Add[p].Load() + f.Sub[p].Load() + f.Mul[p].Load() +
+			f.Div[p].Load() + f.Sqrt[p].Load() + f.Min[p].Load() + f.Max[p].Load() +
+			f.FMA[p].Load() + f.Convert[p].Load() + f.Compare[p].Load() + f.Round[p].Load()
+	}
+	return sum
+}
+
+// TotalByPrec returns the FLOP total for one precision index.
+func (f *FlopMetrics) TotalByPrec(p int) uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.Add[p].Load() + f.Sub[p].Load() + f.Mul[p].Load() +
+		f.Div[p].Load() + f.Sqrt[p].Load() + f.Min[p].Load() + f.Max[p].Load() +
+		f.FMA[p].Load() + f.Convert[p].Load() + f.Compare[p].Load() + f.Round[p].Load()
 }
 
 // SpyMetrics instruments FPSpy's monitoring core.

@@ -66,7 +66,35 @@ const (
 	NamePruneAnalyses       = "prune.analyses"
 	NamePruneSitesTotal     = "prune.sites-total"
 	NamePruneSitesPruned    = "prune.sites-pruned"
+	NameFlopMaskedSkipped   = "flop.masked-skipped"
 )
+
+// flopOpNames orders the FlopMetrics op groups for flattening; the
+// indices match flopOpCounters.
+var flopOpNames = [...]string{"add", "sub", "mul", "div", "sqrt", "min", "max",
+	"fma", "convert", "compare", "round"}
+
+// flopPrecNames names the FlopPrecisions indices (0 = binary64).
+var flopPrecNames = [FlopPrecisions]string{"double", "single"}
+
+// FlopCounterName returns the snapshot key of one FLOP counter, e.g.
+// FlopCounterName("fma", 0) == "flop.fma.double". prec indexes
+// FlopPrecisions (0 double, 1 single).
+func FlopCounterName(op string, prec int) string {
+	return "flop." + op + "." + flopPrecNames[prec]
+}
+
+// flopOpCounters returns the per-precision counter arrays in
+// flopOpNames order (all nil for a nil receiver).
+func (f *FlopMetrics) flopOpCounters() [len(flopOpNames)]*[FlopPrecisions]Counter {
+	if f == nil {
+		return [len(flopOpNames)]*[FlopPrecisions]Counter{}
+	}
+	return [...]*[FlopPrecisions]Counter{
+		&f.Add, &f.Sub, &f.Mul, &f.Div, &f.Sqrt, &f.Min, &f.Max,
+		&f.FMA, &f.Convert, &f.Compare, &f.Round,
+	}
+}
 
 // KernelSignalCounterName returns the snapshot key of the delivery
 // counter for a signal number (e.g. "kernel.signal.SIGFPE").
@@ -120,6 +148,17 @@ func (m *Metrics) Snapshot() Snapshot {
 	counter("machine.mxcsr.guest-reads", &mm.GuestMXCSRReads)
 	counter("machine.breakpoints.armed", &mm.BreakpointsArmed)
 	counter(NameMachineQuietSteps, &mm.QuietSteps)
+
+	fl := &m.Flop
+	for i, ops := range fl.flopOpCounters() {
+		if ops == nil {
+			continue
+		}
+		for p := 0; p < FlopPrecisions; p++ {
+			counter(FlopCounterName(flopOpNames[i], p), &ops[p])
+		}
+	}
+	counter(NameFlopMaskedSkipped, &fl.MaskedSkipped)
 
 	pr := &m.Prune
 	counter(NamePruneAnalyses, &pr.Analyses)

@@ -469,15 +469,25 @@ func shl128(v uint64, count uint) (hi, lo uint64) {
 // isqrt128 returns floor(sqrt(hi:lo)) and whether the root is exact. The
 // radicand must be below 2^126 so the root fits in 63 bits.
 func isqrt128(hi, lo uint64) (root uint64, exact bool) {
-	// Seed with a hardware estimate, then correct with exact integer
-	// arithmetic. The float64 seed is within a few ULP of the true root,
-	// so the adjustment loops run at most a handful of iterations.
+	// Seed with a hardware estimate, refine with one exact integer Newton
+	// step, then settle the last ULP with exact integer arithmetic. The
+	// float64 seed carries ~2^-52 relative error — up to ~2^11 absolute
+	// for a 63-bit root — so stepping by ±1 from the raw seed can walk
+	// thousands of iterations; the Newton step collapses that to at most
+	// a couple.
 	approx := math.Sqrt(float64(hi)*0x1p64 + float64(lo))
 	q := uint64(approx)
-	// Guard against NaN/overflow artifacts of the seed.
-	if q == 0 {
-		q = 1
+	// Guard against NaN/overflow artifacts of the seed, and establish
+	// bits.Div64's hi < divisor precondition (for radicands in the sqrt
+	// paths' normalized ranges the seed already satisfies it: the true
+	// root exceeds hi whenever hi < 2^62).
+	if q <= hi {
+		q = hi + 1
 	}
+	// Newton: q <- floor((q + floor(R/q)) / 2), with an overflow-free
+	// average since q and the quotient may straddle 2^63.
+	quo, _ := bits.Div64(hi, lo, q)
+	q = q/2 + quo/2 + q&quo&1
 	for {
 		sqHi, sqLo := bits.Mul64(q, q)
 		if lt128(hi, lo, sqHi, sqLo) {

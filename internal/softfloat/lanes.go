@@ -1,0 +1,189 @@
+package softfloat
+
+// Lane-sliced kernels: one call retires every lane of a packed vector
+// with a single dispatch, accumulating raised flags across lanes exactly
+// as the per-lane scalar calls would (SSE packed forms OR each lane's
+// conditions into one MXCSR update). The superblock engine and the
+// machine's packed-arithmetic path lean on these so the per-instruction
+// opcode switch runs once per vector, not once per lane.
+//
+// dst, a, and b must have equal lengths; dst may alias a or b since each
+// lane is read before it is written.
+
+// AddLanes64 computes dst[i] = a[i] + b[i] over binary64 lanes.
+func AddLanes64(dst, a, b []uint64, env Env) Flags {
+	var fl Flags
+	for i := range dst {
+		z, f := Add64(a[i], b[i], env)
+		dst[i] = z
+		fl |= f
+	}
+	return fl
+}
+
+// SubLanes64 computes dst[i] = a[i] - b[i] over binary64 lanes.
+func SubLanes64(dst, a, b []uint64, env Env) Flags {
+	var fl Flags
+	for i := range dst {
+		z, f := Sub64(a[i], b[i], env)
+		dst[i] = z
+		fl |= f
+	}
+	return fl
+}
+
+// MulLanes64 computes dst[i] = a[i] * b[i] over binary64 lanes.
+func MulLanes64(dst, a, b []uint64, env Env) Flags {
+	var fl Flags
+	for i := range dst {
+		z, f := Mul64(a[i], b[i], env)
+		dst[i] = z
+		fl |= f
+	}
+	return fl
+}
+
+// DivLanes64 computes dst[i] = a[i] / b[i] over binary64 lanes.
+func DivLanes64(dst, a, b []uint64, env Env) Flags {
+	var fl Flags
+	for i := range dst {
+		z, f := Div64(a[i], b[i], env)
+		dst[i] = z
+		fl |= f
+	}
+	return fl
+}
+
+// MinLanes64 computes dst[i] = min(a[i], b[i]) with SSE minpd semantics.
+func MinLanes64(dst, a, b []uint64, env Env) Flags {
+	var fl Flags
+	for i := range dst {
+		z, f := Min64(a[i], b[i], env)
+		dst[i] = z
+		fl |= f
+	}
+	return fl
+}
+
+// MaxLanes64 computes dst[i] = max(a[i], b[i]) with SSE maxpd semantics.
+func MaxLanes64(dst, a, b []uint64, env Env) Flags {
+	var fl Flags
+	for i := range dst {
+		z, f := Max64(a[i], b[i], env)
+		dst[i] = z
+		fl |= f
+	}
+	return fl
+}
+
+// SqrtLanes64 computes dst[i] = sqrt(a[i]) over binary64 lanes.
+func SqrtLanes64(dst, a []uint64, env Env) Flags {
+	var fl Flags
+	for i := range dst {
+		z, f := Sqrt64(a[i], env)
+		dst[i] = z
+		fl |= f
+	}
+	return fl
+}
+
+// FMALanes64 computes dst[i] = a[i]*b[i] + c[i] fused over binary64
+// lanes.
+func FMALanes64(dst, a, b, c []uint64, env Env) Flags {
+	var fl Flags
+	for i := range dst {
+		z, f := FMA64(a[i], b[i], c[i], env)
+		dst[i] = z
+		fl |= f
+	}
+	return fl
+}
+
+// AddLanes32 computes dst[i] = a[i] + b[i] over binary32 lanes.
+func AddLanes32(dst, a, b []uint32, env Env) Flags {
+	var fl Flags
+	for i := range dst {
+		z, f := Add32(a[i], b[i], env)
+		dst[i] = z
+		fl |= f
+	}
+	return fl
+}
+
+// SubLanes32 computes dst[i] = a[i] - b[i] over binary32 lanes.
+func SubLanes32(dst, a, b []uint32, env Env) Flags {
+	var fl Flags
+	for i := range dst {
+		z, f := Sub32(a[i], b[i], env)
+		dst[i] = z
+		fl |= f
+	}
+	return fl
+}
+
+// MulLanes32 computes dst[i] = a[i] * b[i] over binary32 lanes.
+func MulLanes32(dst, a, b []uint32, env Env) Flags {
+	var fl Flags
+	for i := range dst {
+		z, f := Mul32(a[i], b[i], env)
+		dst[i] = z
+		fl |= f
+	}
+	return fl
+}
+
+// DivLanes32 computes dst[i] = a[i] / b[i] over binary32 lanes.
+func DivLanes32(dst, a, b []uint32, env Env) Flags {
+	var fl Flags
+	for i := range dst {
+		z, f := Div32(a[i], b[i], env)
+		dst[i] = z
+		fl |= f
+	}
+	return fl
+}
+
+// MinLanes32 computes dst[i] = min(a[i], b[i]) with SSE minps semantics.
+func MinLanes32(dst, a, b []uint32, env Env) Flags {
+	var fl Flags
+	for i := range dst {
+		z, f := Min32(a[i], b[i], env)
+		dst[i] = z
+		fl |= f
+	}
+	return fl
+}
+
+// MaxLanes32 computes dst[i] = max(a[i], b[i]) with SSE maxps semantics.
+func MaxLanes32(dst, a, b []uint32, env Env) Flags {
+	var fl Flags
+	for i := range dst {
+		z, f := Max32(a[i], b[i], env)
+		dst[i] = z
+		fl |= f
+	}
+	return fl
+}
+
+// SqrtLanes32 computes dst[i] = sqrt(a[i]) over binary32 lanes.
+func SqrtLanes32(dst, a []uint32, env Env) Flags {
+	var fl Flags
+	for i := range dst {
+		z, f := Sqrt32(a[i], env)
+		dst[i] = z
+		fl |= f
+	}
+	return fl
+}
+
+// FMALanes32 computes dst[i] = a[i]*b[i] + c[i] fused over binary32
+// lanes.
+func FMALanes32(dst, a, b, c []uint32, env Env) Flags {
+	var fl Flags
+	for i := range dst {
+		z, f := FMA32(a[i], b[i], c[i], env)
+		dst[i] = z
+		fl |= f
+	}
+	return fl
+}

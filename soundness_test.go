@@ -75,3 +75,50 @@ func TestWorkloadPruneDifferential(t *testing.T) {
 		})
 	}
 }
+
+// TestWorkloadSuperblockDifferential asserts the superblock region cache
+// does not change what the spy records on real numerics: the
+// individual-mode trace with the cache on is identical, record for
+// record, to the FPE_NOSUPERBLOCK run — the corpus-wide half of the
+// ablation gate (the chaos families cover the adversarial half).
+func TestWorkloadSuperblockDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep skipped in -short")
+	}
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Meta.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := w.Build(workload.SizeSmall)
+			runWith := func(noSB bool) (*fpspy.Result, []fpspy.Record) {
+				run, err := fpspy.Run(prog, fpspy.Options{
+					Config: fpspy.Config{Mode: fpspy.ModeIndividual, NoSuperblock: noSB},
+				})
+				if err != nil {
+					t.Fatalf("run(noSuperblock=%v): %v", noSB, err)
+				}
+				recs, err := run.Store.AllRecords()
+				if err != nil {
+					t.Fatalf("records(noSuperblock=%v): %v", noSB, err)
+				}
+				return run, recs
+			}
+			cachedRun, cached := runWith(false)
+			plainRun, plain := runWith(true)
+			if cachedRun.Steps != plainRun.Steps {
+				t.Fatalf("retired %d cached vs %d uncached", cachedRun.Steps, plainRun.Steps)
+			}
+			if cachedRun.ExitCode != plainRun.ExitCode {
+				t.Fatalf("exit %d cached vs %d uncached", cachedRun.ExitCode, plainRun.ExitCode)
+			}
+			if len(cached) != len(plain) {
+				t.Fatalf("%d records cached vs %d uncached", len(cached), len(plain))
+			}
+			for i := range cached {
+				if cached[i] != plain[i] {
+					t.Fatalf("record %d differs:\ncached:   %+v\nuncached: %+v", i, cached[i], plain[i])
+				}
+			}
+		})
+	}
+}

@@ -24,6 +24,7 @@ type diagnostic struct {
 var enumTypes = map[string]bool{
 	"repro/internal/core.AbortReason":       true,
 	"repro/internal/trace.MonitorEventKind": true,
+	"repro/internal/machine.SBKind":         true,
 }
 
 func checkPackage(fset *token.FileSet, p *pkg) []diagnostic {
