@@ -13,6 +13,13 @@
 //
 // submit's configuration flags mirror the paper's FPE_* environment
 // variables and are parsed by the same code path (core.ParseConfig).
+//
+// Against a cluster, any node is the whole service: -server may name
+// any member (submissions route to the clone's owner internally), or a
+// comma-separated list of members ("http://a:8765,http://b:8765") the
+// client fails over between when one stops answering. Retried and
+// failed-over submissions are safe: jobs are content-addressed, so a
+// duplicate arrival is a cache hit, never a second study.
 package main
 
 import (
@@ -112,7 +119,8 @@ func capture(args []string) {
 
 // clientFlags adds the flags every daemon-facing subcommand shares.
 func clientFlags(fs *flag.FlagSet) (srv, id *string) {
-	srv = fs.String("server", "http://127.0.0.1:8765", "daemon base URL")
+	srv = fs.String("server", "http://127.0.0.1:8765",
+		"daemon base URL, or comma-separated cluster member URLs to fail over between")
 	id = fs.String("client", "fpctl", "client identity for rate limiting")
 	return
 }

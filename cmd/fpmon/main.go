@@ -9,12 +9,16 @@
 //	fpmon -study [-workers N]      # monitor the full study's passes
 //	fpmon -snapshot metrics.json   # render a saved -metricsout snapshot
 //	fpmon -url http://host:port    # poll a remote daemon's /metrics
+//	fpmon -url http://a:1,http://b:2,...   # per-peer cluster dashboard
 //
 // The same snapshot JSON is served live on -pprof's /metrics endpoint
 // and on fpspyd's /metrics, so -url turns fpmon into the remote live
 // dashboard for a running daemon: it polls the snapshot every
 // -interval, redraws, and prints the final summary when interrupted
-// (or after -polls refreshes).
+// (or after -polls refreshes). A comma-separated -url polls every named
+// cluster member and stacks one dashboard section per peer; an
+// unreachable peer shows as down in its section instead of killing the
+// dashboard, so the view stays useful through node failures.
 package main
 
 import (
@@ -36,7 +40,7 @@ import (
 
 func main() {
 	snapshotPath := flag.String("snapshot", "", "render a saved metrics snapshot JSON file and exit")
-	remoteURL := flag.String("url", "", "poll a remote daemon's /metrics snapshot instead of running anything")
+	remoteURL := flag.String("url", "", "poll remote daemon /metrics snapshots (comma-separated URLs = per-peer cluster dashboard)")
 	polls := flag.Int("polls", 0, "with -url, stop after this many refreshes (0 = until interrupted)")
 	runStudy := flag.Bool("study", false, "monitor the full study's passes instead of one workload")
 	workers := flag.Int("workers", 0, "study worker pool size (0 = one per CPU)")
@@ -165,31 +169,77 @@ func fetchSnapshot(url string) (obs.Snapshot, error) {
 	return obs.ParseSnapshot(data)
 }
 
-// pollRemote is the -url mode: the live dashboard over a remote
-// daemon's /metrics snapshots. It refreshes every interval until the
-// poll budget is spent or the user interrupts, then prints the final
-// summary of the last snapshot it saw.
+// pollRemote is the -url mode: the live dashboard over one or more
+// remote daemons' /metrics snapshots. A single URL keeps the classic
+// behavior (any fetch error aborts); a comma-separated list renders one
+// dashboard section per cluster peer and tolerates down peers, so the
+// view survives exactly the node failures a cluster operator watches
+// for. It refreshes every interval until the poll budget is spent or
+// the user interrupts, then prints each peer's final summary.
 func pollRemote(raw string, interval time.Duration, polls int, noDash bool) error {
-	url := metricsURL(raw)
+	var urls []string
+	for _, u := range strings.Split(raw, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, metricsURL(u))
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("-url: no URLs in %q", raw)
+	}
+	single := len(urls) == 1
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt)
 	defer signal.Stop(sigc)
 
-	var last obs.Snapshot
+	last := make([]obs.Snapshot, len(urls))
+	ever := make([]bool, len(urls)) // ever fetched a snapshot
+	up := make([]bool, len(urls))   // last poll succeeded
 	seen := 0
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
-	for {
-		snap, err := fetchSnapshot(url)
-		if err != nil {
-			return err
+
+	finalSummary := func() {
+		for i, url := range urls {
+			if !single {
+				fmt.Printf("== peer %d/%d %s ==\n", i+1, len(urls), url)
+			}
+			if ever[i] {
+				fmt.Print(obs.RenderSummary(last[i]))
+			} else {
+				fmt.Println("(no snapshot seen)")
+			}
 		}
-		last = snap
+	}
+
+	for {
+		for i, url := range urls {
+			snap, err := fetchSnapshot(url)
+			if err != nil {
+				if single {
+					return err
+				}
+				up[i] = false
+				continue
+			}
+			last[i], ever[i], up[i] = snap, true, true
+		}
 		seen++
 		if !noDash {
 			fmt.Print("\033[H\033[2J")
-			fmt.Printf("fpmon -url %s (poll %d)\n", url, seen)
-			fmt.Print(obs.RenderDashboard(snap))
+			fmt.Printf("fpmon -url %s (poll %d)\n", raw, seen)
+			for i, url := range urls {
+				if !single {
+					state := "up"
+					if !up[i] {
+						state = "DOWN"
+					}
+					fmt.Printf("== peer %d/%d %s [%s] ==\n", i+1, len(urls), url, state)
+				}
+				if up[i] {
+					fmt.Print(obs.RenderDashboard(last[i]))
+				}
+			}
 		}
 		if polls > 0 && seen >= polls {
 			break
@@ -197,12 +247,12 @@ func pollRemote(raw string, interval time.Duration, polls int, noDash bool) erro
 		select {
 		case <-sigc:
 			fmt.Println()
-			fmt.Print(obs.RenderSummary(last))
+			finalSummary()
 			return nil
 		case <-tick.C:
 		}
 	}
-	fmt.Print(obs.RenderSummary(last))
+	finalSummary()
 	return nil
 }
 

@@ -9,6 +9,17 @@
 //
 //	fpspyd [-addr 127.0.0.1:8765] [-workers N] [-shards 4] [-queue 64]
 //	       [-rate R -burst B] [-state queue.gob] [-addrfile FILE]
+//	       [-peers URL,URL,...] [-advertise URL] [-join URL]
+//
+// Clustering: -peers (a comma-separated seed membership), -join (an
+// existing member to introduce ourselves to), or -advertise (our own
+// URL as peers should dial it) turn the daemon into a cluster node.
+// Submissions route by content address on a consistent-hash ring, so
+// identical clones study once cluster-wide and the settled outcome is
+// cached on every node that routed it. Without -advertise the node
+// advertises http://<bound address>, which works when peers share a
+// network namespace with us; behind NAT or containers pass -advertise
+// explicitly.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight passes complete, queued
 // jobs persist to -state, and a restarted daemon resumes them.
@@ -21,8 +32,10 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -36,6 +49,9 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-client submissions per second (0 = unlimited)")
 	burst := flag.Int("burst", 8, "rate limiter burst")
 	stateFile := flag.String("state", "", "persist queued jobs here across restarts")
+	peers := flag.String("peers", "", "comma-separated peer URLs to cluster with")
+	advertise := flag.String("advertise", "", "our URL as peers should dial it (default http://<bound addr>)")
+	join := flag.String("join", "", "existing cluster member to join via")
 	flag.Parse()
 
 	om := obs.New(obs.Options{TraceCapacity: 1 << 18})
@@ -64,9 +80,42 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "fpspyd: serving on http://%s\n", bound)
 
-	httpSrv := &http.Server{Handler: srv}
+	// Clustering: wrap the daemon in a cluster node when any cluster
+	// flag is set. The node serves the same client API on the same
+	// listener, plus the /cluster/v1/* peer RPCs.
+	var node *cluster.Node
+	handler := http.Handler(srv)
+	if *peers != "" || *join != "" || *advertise != "" {
+		self := *advertise
+		if self == "" {
+			self = "http://" + bound
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" && p != self {
+				peerList = append(peerList, p)
+			}
+		}
+		node, err = cluster.NewNode(cluster.Options{
+			Self: self, Peers: peerList, Server: srv, Obs: om,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		handler = node
+		fmt.Fprintf(os.Stderr, "fpspyd: clustering as %s with %d seed peer(s)\n", self, len(peerList))
+	}
+
+	httpSrv := &http.Server{Handler: handler}
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.Serve(ln) }()
+
+	if node != nil && *join != "" {
+		if err := node.Join(*join); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fpspyd: joined cluster via %s (%d member(s))\n", *join, len(node.Ring().Known()))
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -77,6 +126,9 @@ func main() {
 		fatal(err)
 	}
 
+	if node != nil {
+		node.Close()
+	}
 	persisted, err := srv.Shutdown()
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,173 @@
+package chaos
+
+// Service-layer fault injection: the scenario family that attacks the
+// fpspyd cluster fabric instead of the spy itself. A FaultTransport
+// wraps an http.RoundTripper and — from a seeded, deterministic rng —
+// delays peer RPCs, drops them with transport errors, and corrupts
+// response bodies in flight. Node kills and restarts are orchestrated
+// by the cluster end-to-end suite on top of these transports; the
+// invariants under attack are the cluster's, not the guest's: no lost
+// or duplicated jobs, cluster-wide singleflight, graceful degradation
+// to local-only service.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrRPCDropped is the transport error a dropped RPC surfaces. It is
+// indistinguishable from a dead peer to the caller — which is the
+// point: retry and failover paths must treat both identically.
+var ErrRPCDropped = errors.New("chaos: rpc dropped")
+
+// ServiceFaultSpec is a serializable description of one service-layer
+// fault mix. The same spec always yields the same decision stream for
+// the same sequence of RoundTrip calls.
+type ServiceFaultSpec struct {
+	// Seed keys the decision rng.
+	Seed int64
+	// DropP is the probability an RPC fails with ErrRPCDropped before
+	// reaching the peer.
+	DropP float64
+	// DelayP is the probability an RPC is held for a uniform duration
+	// in [DelayMin, DelayMax] before being sent.
+	DelayP   float64
+	DelayMin time.Duration
+	DelayMax time.Duration
+	// CorruptP is the probability a response body has bits flipped —
+	// the wire lied, and decoders must reject rather than trust it.
+	CorruptP float64
+}
+
+// FaultStats counts the faults a transport actually injected.
+type FaultStats struct {
+	Dropped   atomic.Int64
+	Delayed   atomic.Int64
+	Corrupted atomic.Int64
+}
+
+// FaultTransport injects the spec's faults around a base RoundTripper.
+type FaultTransport struct {
+	Spec ServiceFaultSpec
+	// Base is the wrapped transport (http.DefaultTransport when nil).
+	Base http.RoundTripper
+	// Stats tallies injected faults for test assertions.
+	Stats FaultStats
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Transport builds a FaultTransport around base.
+func (sp ServiceFaultSpec) Transport(base http.RoundTripper) *FaultTransport {
+	return &FaultTransport{
+		Spec: sp,
+		Base: base,
+		rng:  rand.New(rand.NewSource(sp.Seed*1_000_003 + 0x5eace)),
+	}
+}
+
+// decision is one RPC's sampled fate. Drawing all three verdicts in a
+// fixed order keeps the stream deterministic per call index regardless
+// of which faults are enabled.
+type decision struct {
+	drop    bool
+	delay   time.Duration
+	corrupt bool
+}
+
+func (ft *FaultTransport) decide() decision {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	var d decision
+	d.drop = ft.rng.Float64() < ft.Spec.DropP
+	if ft.rng.Float64() < ft.Spec.DelayP {
+		span := ft.Spec.DelayMax - ft.Spec.DelayMin
+		d.delay = ft.Spec.DelayMin
+		if span > 0 {
+			d.delay += time.Duration(ft.rng.Int63n(int64(span) + 1))
+		}
+	}
+	d.corrupt = ft.rng.Float64() < ft.Spec.CorruptP
+	return d
+}
+
+// RoundTrip applies the sampled faults: drop preempts the call, delay
+// holds it (honoring request-context cancellation), corrupt flips bits
+// in the response body after a successful exchange.
+func (ft *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := ft.decide()
+	if d.drop {
+		ft.Stats.Dropped.Add(1)
+		return nil, fmt.Errorf("%w (%s %s)", ErrRPCDropped, req.Method, req.URL.Path)
+	}
+	if d.delay > 0 {
+		ft.Stats.Delayed.Add(1)
+		t := time.NewTimer(d.delay)
+		select {
+		case <-t.C:
+		case <-req.Context().Done():
+			t.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	base := ft.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || !d.corrupt {
+		return resp, err
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close() //nolint:errcheck // replaced below
+	if rerr != nil {
+		return nil, rerr
+	}
+	if len(body) > 0 {
+		ft.Stats.Corrupted.Add(1)
+		ft.mu.Lock()
+		// Flip a few bits at seeded positions; length is preserved so
+		// corruption is only detectable by actually decoding.
+		for i := 0; i < 3; i++ {
+			body[ft.rng.Intn(len(body))] ^= 1 << uint(ft.rng.Intn(8))
+		}
+		ft.mu.Unlock()
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	return resp, nil
+}
+
+// ServiceFaultScenario names one fault mix of the service family.
+type ServiceFaultScenario struct {
+	Name string
+	Spec ServiceFaultSpec
+}
+
+// ServiceFaultScenarios is the service-layer sweep: the fault mixes the
+// cluster suite runs its invariants under, seeded for reproducibility.
+func ServiceFaultScenarios(seed int64) []ServiceFaultScenario {
+	return []ServiceFaultScenario{
+		{Name: "delay-jitter", Spec: ServiceFaultSpec{
+			Seed: seed, DelayP: 0.5, DelayMin: time.Millisecond, DelayMax: 20 * time.Millisecond,
+		}},
+		{Name: "drop-storm", Spec: ServiceFaultSpec{
+			Seed: seed + 1, DropP: 0.3,
+		}},
+		{Name: "corrupt-wire", Spec: ServiceFaultSpec{
+			Seed: seed + 2, CorruptP: 0.4,
+		}},
+		{Name: "mixed-storm", Spec: ServiceFaultSpec{
+			Seed: seed + 3, DropP: 0.15, DelayP: 0.3,
+			DelayMin: time.Millisecond, DelayMax: 10 * time.Millisecond, CorruptP: 0.15,
+		}},
+	}
+}

@@ -1,0 +1,84 @@
+package cluster_test
+
+// BenchmarkClusterSubmit measures the cached submission path — the
+// steady state of a cluster studying a shared corpus, where every
+// clone has settled somewhere and cache-everywhere makes each
+// resubmission a local hit. The 1-peer and 3-peer variants drive the
+// same total client load round-robin across the membership; the
+// peer-RPC counters are reported per op to pin the capacity argument:
+// a cached submit costs its receiving peer zero peer RPCs, so adding
+// peers adds serving capacity without adding per-request coordination.
+// On a single-core host the wall-clock ns/op cannot show that scaling
+// (every peer shares the one CPU) — BENCH_pr8.json records the honest
+// numbers with that note, plus the rpcs/op mechanism metric.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	fpspy "repro"
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+func benchCluster(b *testing.B, nPeers int) {
+	peers := newTestCluster(b, nPeers, func(_ int, so *server.Options, _ *cluster.Options) {
+		so.BeforeRun = nil
+	})
+	cfg := fpspy.Config{Mode: fpspy.ModeAggregate}
+	blob := encodeJob(b, cjob(b, "bench-cached", 2))
+
+	// Warm every peer: the first submission anywhere studies the clone
+	// once; each further peer's first submission forwards, installs the
+	// outcome locally, and settles. After this loop every peer serves
+	// the clone from its own cache.
+	for i, p := range peers {
+		cl := fastClient(p.url, fmt.Sprintf("warm-%d", i))
+		resp, err := cl.SubmitBlob("bench-cached", blob, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cl.Watch(resp.ID, 2*time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	rpcsBefore := totalForwards(peers)
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		p := peers[int(next.Add(1))%len(peers)]
+		cl := fastClient(p.url, fmt.Sprintf("bench-%d", next.Load()))
+		for pb.Next() {
+			resp, err := cl.SubmitBlob("bench-cached", blob, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !resp.CacheHit {
+				b.Fatalf("submission %s missed the cache after warmup", resp.ID)
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(totalForwards(peers)-rpcsBefore)/float64(b.N), "peer-rpcs/op")
+}
+
+// totalForwards sums the peer RPCs the cluster issued for submissions
+// (forwards to owners; the cached path must not add any).
+func totalForwards(peers []*peerT) uint64 {
+	var n uint64
+	for _, p := range peers {
+		if c := p.cm(); c != nil {
+			n += c.Forwards.Load()
+		}
+	}
+	return n
+}
+
+func BenchmarkClusterSubmit(b *testing.B) {
+	for _, n := range []int{1, 3} {
+		b.Run(fmt.Sprintf("peers=%d/cached", n), func(b *testing.B) { benchCluster(b, n) })
+	}
+}

@@ -1,0 +1,171 @@
+// Package cluster joins N fpspyd daemons into one study service: a
+// consistent-hash ring keyed on the submission content address routes
+// every clone to one owning peer, so cluster-wide deduplication
+// inherits the single-node cache and singleflight invariants — a clone
+// studied anywhere is studied once, and cached everywhere a result
+// passes through. A gossip-fed health layer evicts dead peers (and
+// re-admits recovered ones) with automatic ring rebalance; the RPC path
+// carries per-call deadlines, capped jittered backoff, and hedged
+// requests to the next ring replica; overloaded peers shed queued jobs
+// to idle ones through leased work stealing. Under a full partition a
+// node degrades to local-only service instead of failing submissions.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"sync"
+)
+
+// defaultVNodes is the virtual-node count per peer: enough that a
+// 3–10 peer ring balances within a few percent, cheap enough that
+// rebuilds on membership change stay trivial.
+const defaultVNodes = 64
+
+// Ring is a consistent-hash ring over peer URLs. Only live members
+// occupy slots; eviction and re-admission rebuild the slot array, which
+// moves only the evicted peer's arc — every other key keeps its owner.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	alive  map[string]bool // every known peer -> liveness
+	slots  []ringSlot      // live peers' virtual nodes, sorted by hash
+}
+
+type ringSlot struct {
+	hash uint64
+	peer string
+}
+
+// NewRing builds a ring with vnodes virtual nodes per peer (the
+// default when vnodes <= 0). The initial members are all live.
+func NewRing(vnodes int, members ...string) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	r := &Ring{vnodes: vnodes, alive: make(map[string]bool)}
+	for _, m := range members {
+		r.alive[m] = true
+	}
+	r.rebuild()
+	return r
+}
+
+// ringHash maps a string to a ring position: the first 8 bytes of its
+// SHA-256. Content addresses are themselves SHA-256 hex, so key
+// placement is uniform by construction.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// rebuild regenerates the slot array from the live members. Caller
+// holds r.mu.
+func (r *Ring) rebuild() {
+	r.slots = r.slots[:0]
+	buf := make([]byte, 0, 80)
+	for peer, ok := range r.alive {
+		if !ok {
+			continue
+		}
+		for i := 0; i < r.vnodes; i++ {
+			buf = append(buf[:0], peer...)
+			buf = append(buf, '#', byte(i), byte(i>>8))
+			sum := sha256.Sum256(buf)
+			r.slots = append(r.slots, ringSlot{
+				hash: binary.BigEndian.Uint64(sum[:8]), peer: peer,
+			})
+		}
+	}
+	sort.Slice(r.slots, func(i, j int) bool { return r.slots[i].hash < r.slots[j].hash })
+}
+
+// Add registers peer as a live member (idempotent). It reports whether
+// membership changed.
+func (r *Ring) Add(peer string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.alive[peer] {
+		return false
+	}
+	r.alive[peer] = true
+	r.rebuild()
+	return true
+}
+
+// Evict marks peer dead, removing its arc from the ring; the peer stays
+// known so recovery can re-admit it. Reports whether liveness changed.
+func (r *Ring) Evict(peer string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	was, known := r.alive[peer]
+	if !known || !was {
+		return false
+	}
+	r.alive[peer] = false
+	r.rebuild()
+	return true
+}
+
+// Alive reports peer's liveness.
+func (r *Ring) Alive(peer string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.alive[peer]
+}
+
+// Members returns the live peers in unspecified order.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.alive))
+	for p, ok := range r.alive {
+		if ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Known returns every peer ever seen, live or not.
+func (r *Ring) Known() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.alive))
+	for p := range r.alive {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Owner returns the live peer owning key ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	reps := r.Replicas(key, 1)
+	if len(reps) == 0 {
+		return ""
+	}
+	return reps[0]
+}
+
+// Replicas returns up to n distinct live peers clockwise from key's
+// ring position: the owner first, then the hedging successors.
+func (r *Ring) Replicas(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.slots) == 0 || n <= 0 {
+		return nil
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.slots), func(i int) bool { return r.slots[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for j := 0; j < len(r.slots) && len(out) < n; j++ {
+		s := r.slots[(i+j)%len(r.slots)]
+		if !seen[s.peer] {
+			seen[s.peer] = true
+			out = append(out, s.peer)
+		}
+	}
+	return out
+}

@@ -49,6 +49,9 @@ type Metrics struct {
 	Study StudyMetrics
 	// Server instruments the fpspyd daemon in internal/server.
 	Server ServerMetrics
+	// Cluster instruments the fpspyd peer fabric in internal/cluster:
+	// routing, hedging, health probing, eviction, and work stealing.
+	Cluster ClusterMetrics
 	// Self holds the self-sampler's periodic observations of the
 	// process (goroutines, heap, worker-pool occupancy).
 	Self SelfMetrics
@@ -151,6 +154,15 @@ func (m *Metrics) ServerMetricsOrNil() *ServerMetrics {
 		return nil
 	}
 	return &m.Server
+}
+
+// ClusterMetricsOrNil returns the cluster instrument group, or nil when
+// observability is disabled.
+func (m *Metrics) ClusterMetricsOrNil() *ClusterMetrics {
+	if m == nil {
+		return nil
+	}
+	return &m.Cluster
 }
 
 // TracerOrNil returns the event tracer, or nil when observability is
@@ -362,6 +374,47 @@ type ServerMetrics struct {
 	StatusNS  Histogram
 	ResultNS  Histogram
 	FiguresNS Histogram
+}
+
+// ClusterMetrics instruments the fpspyd peer fabric (internal/cluster):
+// consistent-hash routing decisions, the robust RPC path (retries,
+// hedges), ring membership churn, and work stealing. Like every group,
+// the zero value is ready and a nil *Metrics records nothing.
+type ClusterMetrics struct {
+	// ForwardsLocal counts submissions whose content address this node
+	// owns (or already holds settled) and served without a peer RPC.
+	ForwardsLocal Counter
+	// Forwards counts submissions routed to the owning peer.
+	Forwards Counter
+	// Retries counts peer RPC attempts beyond the first, across all
+	// call kinds (run, steal, complete, health).
+	Retries Counter
+	// Hedges counts hedged requests fired at a backup replica because
+	// the owner was slow; HedgeWins counts hedges that answered first.
+	Hedges    Counter
+	HedgeWins Counter
+	// RPCErrors counts peer calls that failed after all retries.
+	RPCErrors Counter
+	// Evictions counts peers removed from the ring by the health layer;
+	// Readmissions counts recovered peers added back.
+	Evictions    Counter
+	Readmissions Counter
+	// Probes and ProbeFailures count health-probe attempts and failures.
+	Probes        Counter
+	ProbeFailures Counter
+	// StealsIn counts jobs this node stole and executed for an
+	// overloaded peer; StealsOut counts jobs handed to a stealing peer.
+	StealsIn  Counter
+	StealsOut Counter
+	// StealRequeues counts stolen jobs re-admitted locally after the
+	// stealer's lease expired without a returned outcome.
+	StealRequeues Counter
+	// PartitionLocal counts submissions served by a degraded local pass
+	// because the owning peer (and every replica) was unreachable.
+	PartitionLocal Counter
+	// ForwardNS is the latency distribution of settled forwards, in
+	// host nanoseconds (owner RPC including retries and hedges).
+	ForwardNS Histogram
 }
 
 // SelfMetrics holds the self-sampler's periodic process observations.

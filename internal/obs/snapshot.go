@@ -63,6 +63,11 @@ const (
 	NameServerShed          = "server.shed"
 	NameServerQueueDepth    = "server.queue-depth"
 	NameMachineQuietSteps   = "machine.quiet.steps"
+	NameClusterForwards     = "cluster.forwards"
+	NameClusterHedges       = "cluster.hedges"
+	NameClusterEvictions    = "cluster.evictions"
+	NameClusterStealsIn     = "cluster.steals.in"
+	NameClusterPartition    = "cluster.partition-local"
 	NamePruneAnalyses       = "prune.analyses"
 	NamePruneSitesTotal     = "prune.sites-total"
 	NamePruneSitesPruned    = "prune.sites-pruned"
@@ -198,6 +203,23 @@ func (m *Metrics) Snapshot() Snapshot {
 	hist("server.http.status-ns", &sv.StatusNS)
 	hist("server.http.result-ns", &sv.ResultNS)
 	hist("server.http.figures-ns", &sv.FiguresNS)
+
+	cl := &m.Cluster
+	counter("cluster.forwards-local", &cl.ForwardsLocal)
+	counter(NameClusterForwards, &cl.Forwards)
+	counter("cluster.retries", &cl.Retries)
+	counter(NameClusterHedges, &cl.Hedges)
+	counter("cluster.hedge-wins", &cl.HedgeWins)
+	counter("cluster.rpc-errors", &cl.RPCErrors)
+	counter(NameClusterEvictions, &cl.Evictions)
+	counter("cluster.readmissions", &cl.Readmissions)
+	counter("cluster.probes", &cl.Probes)
+	counter("cluster.probe-failures", &cl.ProbeFailures)
+	counter(NameClusterStealsIn, &cl.StealsIn)
+	counter("cluster.steals.out", &cl.StealsOut)
+	counter("cluster.steal-requeues", &cl.StealRequeues)
+	counter(NameClusterPartition, &cl.PartitionLocal)
+	hist("cluster.forward-ns", &cl.ForwardNS)
 
 	self := &m.Self
 	counter("self.samples", &self.Samples)

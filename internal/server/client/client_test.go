@@ -1,0 +1,179 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	fpspy "repro"
+	"repro/internal/server"
+)
+
+// fastRetry returns a client pointed at url with sub-millisecond
+// backoff so tests exercise the retry loop without real sleeps.
+func fastRetry(url string) *Client {
+	return &Client{
+		BaseURL:       url,
+		ID:            "test",
+		RetryBaseWait: 200 * time.Microsecond,
+		RetryMaxWait:  2 * time.Millisecond,
+	}
+}
+
+func TestRetryAbsorbs429(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"rate limited"}`)) //nolint:errcheck // test
+			return
+		}
+		w.Write([]byte(`{"id":"job-000001","state":"queued"}`)) //nolint:errcheck // test
+	}))
+	defer srv.Close()
+	c := fastRetry(srv.URL)
+	resp, err := c.SubmitBlob("x", []byte("clone"), fpspy.Config{})
+	if err != nil {
+		t.Fatalf("SubmitBlob after 429s: %v", err)
+	}
+	if resp.ID != "job-000001" {
+		t.Fatalf("resp.ID = %q", resp.ID)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("expected 3 attempts, saw %d", n)
+	}
+}
+
+func TestRetryAbsorbs503Draining(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"draining"}`)) //nolint:errcheck // test
+			return
+		}
+		w.Write([]byte(`{"id":"job-000002","state":"done","cacheHit":true}`)) //nolint:errcheck // test
+	}))
+	defer srv.Close()
+	c := fastRetry(srv.URL)
+	st, err := c.Status("job-000002")
+	if err != nil {
+		t.Fatalf("Status through 503: %v", err)
+	}
+	if st.State != server.StateDone {
+		t.Fatalf("state = %q", st.State)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("expected 2 attempts, saw %d", n)
+	}
+}
+
+func TestPermanentErrorNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"bad clone"}`)) //nolint:errcheck // test
+	}))
+	defer srv.Close()
+	c := fastRetry(srv.URL)
+	_, err := c.SubmitBlob("x", []byte("clone"), fpspy.Config{})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("want APIError 400, got %v", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("400 must not be retried; saw %d attempts", n)
+	}
+}
+
+func TestRetryDisabled(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+	c := fastRetry(srv.URL)
+	c.RetryMax = -1
+	_, err := c.Status("job-000001")
+	var rl *RateLimitError
+	if !errors.As(err, &rl) {
+		t.Fatalf("want RateLimitError surfaced, got %v", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("RetryMax<0 must not retry; saw %d attempts", n)
+	}
+}
+
+func TestContextCancelsBackoff(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+	// Large max wait so the backoff would honor the 1s hint; the
+	// context must cut it short.
+	c := &Client{BaseURL: srv.URL, RetryMaxWait: 10 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.StatusContext(ctx, "job-000001")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("cancellation took %v; backoff sleep was not interrupted", el)
+	}
+}
+
+func TestEndpointFailover(t *testing.T) {
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"id":"job-000003","state":"queued"}`)) //nolint:errcheck // test
+	}))
+	defer live.Close()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // now connection-refused
+	c := fastRetry(deadURL + ", " + live.URL)
+	if got := c.Endpoints(); len(got) != 2 {
+		t.Fatalf("Endpoints() = %v", got)
+	}
+	resp, err := c.SubmitBlob("x", []byte("clone"), fpspy.Config{})
+	if err != nil {
+		t.Fatalf("SubmitBlob with dead first peer: %v", err)
+	}
+	if resp.ID != "job-000003" {
+		t.Fatalf("resp.ID = %q", resp.ID)
+	}
+	// The client sticks to the endpoint that answered.
+	if ep := c.Endpoints()[c.cur%len(c.Endpoints())]; ep != strings.TrimRight(live.URL, "/") {
+		t.Fatalf("sticky endpoint = %q, want %q", ep, live.URL)
+	}
+}
+
+func TestBackoffWaitHonorsHintAndCap(t *testing.T) {
+	base, maxWait := 10*time.Millisecond, 100*time.Millisecond
+	for i := 0; i < 50; i++ {
+		// The server hint floors the wait when it fits under the cap.
+		if w := backoffWait(1, 50*time.Millisecond, base, maxWait); w < 50*time.Millisecond || w > maxWait {
+			t.Fatalf("hinted wait %v outside [50ms, %v]", w, maxWait)
+		}
+		// A hostile hint is clamped to the cap.
+		if w := backoffWait(1, time.Hour, base, maxWait); w != maxWait {
+			t.Fatalf("hour-long hint produced %v, want cap %v", w, maxWait)
+		}
+		// Deep attempts saturate at the cap even with shift overflow.
+		if w := backoffWait(80, 0, base, maxWait); w <= 0 || w > maxWait {
+			t.Fatalf("attempt-80 wait %v outside (0, %v]", w, maxWait)
+		}
+	}
+}

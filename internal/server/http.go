@@ -177,7 +177,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	rec, err := s.submit(client, req.Name, req.Clone, req.Config)
 	switch {
-	case errors.Is(err, errDraining), errors.Is(err, errQueueFull):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
@@ -266,6 +266,15 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	WriteResultStream(w, rec.id, rec.name, cacheHit, out)
+}
+
+// WriteResultStream renders one settled outcome as the NDJSON result
+// stream: every monitor-log event line in order, then exactly one
+// summary line. The daemon's result handler and the cluster router's
+// proxy-job handler share it so forwarded results are byte-identical to
+// locally served ones.
+func WriteResultStream(w http.ResponseWriter, id, name string, cacheHit bool, out *Outcome) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
@@ -279,7 +288,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	enc.Encode(ResultLine{Type: "summary", Summary: &Summary{ //nolint:errcheck // client gone
-		ID: rec.id, Name: rec.name, CacheHit: cacheHit,
+		ID: id, Name: name, CacheHit: cacheHit,
 		Steps: out.Steps, WallCycles: out.WallCycles, ExitCode: out.ExitCode,
 		EventSet: out.EventSet, Records: out.Records, Aggregates: out.Aggregates,
 		Events: len(out.Events),
@@ -343,10 +352,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+// HealthStatus values served by /healthz. A draining daemon reports
+// StatusDraining with 503 so ring health probes and load balancers stop
+// routing new work to it without treating it as dead: its in-flight
+// passes are completing and its queue is persisting.
+const (
+	StatusOK       = "ok"
+	StatusDraining = "draining"
+)
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if s.Draining() {
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": StatusDraining})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]string{"status": StatusOK})
 }

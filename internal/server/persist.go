@@ -23,10 +23,13 @@ type persistedJob struct {
 	Config fpspy.Config
 }
 
-// saveState writes the pending queue to Options.StateFile atomically
-// (temp file + rename), so a crash mid-write leaves either the old
-// queue or the new one, never a torn file. An empty queue still writes
-// a file: a later restart must not resurrect an older, staler queue.
+// saveState writes the pending queue to Options.StateFile crash-safely:
+// the temp file is fully written and fsynced before the rename, and the
+// containing directory is fsynced after it, so a crash at any point
+// leaves either the old queue or the new one — never a torn file, and
+// never a rename whose directory entry evaporates with the page cache.
+// An empty queue still writes a file: a later restart must not
+// resurrect an older, staler queue.
 func (s *Server) saveState(pend []*jobRec) error {
 	list := make([]persistedJob, 0, len(pend))
 	for _, rec := range pend {
@@ -40,11 +43,37 @@ func (s *Server) saveState(pend []*jobRec) error {
 		return fmt.Errorf("server: encode queue state: %w", err)
 	}
 	tmp := s.opts.StateFile + ".tmp"
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return fmt.Errorf("server: write queue state: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()      //nolint:errcheck // write error already reported
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		return fmt.Errorf("server: write queue state: %w", err)
+	}
+	// The data must be durable before the rename makes it reachable: a
+	// rename committed ahead of its content is exactly the torn write
+	// the temp file exists to prevent.
+	if err := f.Sync(); err != nil {
+		f.Close()      //nolint:errcheck // sync error already reported
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		return fmt.Errorf("server: sync queue state: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("server: close queue state: %w", err)
 	}
 	if err := os.Rename(tmp, s.opts.StateFile); err != nil {
 		return fmt.Errorf("server: commit queue state: %w", err)
+	}
+	// Sync the directory so the rename itself survives a crash.
+	dir, err := os.Open(filepath.Dir(s.opts.StateFile))
+	if err != nil {
+		return fmt.Errorf("server: open state dir: %w", err)
+	}
+	defer dir.Close()
+	if err := dir.Sync(); err != nil {
+		return fmt.Errorf("server: sync state dir: %w", err)
 	}
 	return nil
 }
@@ -55,6 +84,10 @@ func (s *Server) saveState(pend []*jobRec) error {
 // re-enqueued through the normal cache/singleflight path. The state
 // file is consumed: it is removed once its jobs are re-admitted.
 func (s *Server) loadState() error {
+	// A leftover temp file is a torn write from a crashed save: it is
+	// never loaded, only swept, so a partial state can't masquerade as
+	// the committed queue.
+	os.Remove(s.opts.StateFile + ".tmp") //nolint:errcheck // best-effort sweep
 	data, err := os.ReadFile(s.opts.StateFile)
 	if os.IsNotExist(err) {
 		return nil

@@ -78,6 +78,10 @@ type Options struct {
 	// Study, when non-nil, is the shared pass scheduler; the daemon
 	// otherwise creates its own with Workers workers.
 	Study *study.Study
+	// BeforeRun, when set, is called after a job enters StateRunning and
+	// before its pass executes. Tests (here and in internal/cluster)
+	// gate on it to hold a pass in flight; production leaves it nil.
+	BeforeRun func(jobID string)
 
 	// now overrides the clock (tests).
 	now func() time.Time
@@ -136,6 +140,7 @@ type cacheEntry struct {
 	done    chan struct{}
 	started bool // a dispatcher picked the primary up (guarded by mu)
 	settled bool // out/err valid (guarded by mu)
+	stolen  bool // primary handed to a peer via StealPending (guarded by mu)
 	out     *Outcome
 	err     error
 	primary *jobRec
@@ -194,6 +199,10 @@ func New(o Options) (*Server, error) {
 	for i := range s.shards {
 		s.shards[i] = make(chan *jobRec, o.QueueDepth)
 	}
+	if o.BeforeRun != nil {
+		hook := o.BeforeRun
+		s.testBeforeRun = func(rec *jobRec) { hook(rec.id) }
+	}
 	s.buildMux()
 	if o.StateFile != "" {
 		if err := s.loadState(); err != nil {
@@ -226,11 +235,11 @@ func (s *Server) shardOf(key string) chan *jobRec {
 	return s.shards[int(h.Sum32())%len(s.shards)]
 }
 
-// errDraining and errQueueFull classify submission rejections for the
-// HTTP layer.
+// ErrDraining and ErrQueueFull classify submission rejections for the
+// HTTP layer and for cluster routers deciding how to degrade.
 var (
-	errDraining  = errors.New("server: draining, not accepting submissions")
-	errQueueFull = errors.New("server: shard queue full")
+	ErrDraining  = errors.New("server: draining, not accepting submissions")
+	ErrQueueFull = errors.New("server: shard queue full")
 )
 
 // submit admits one submission: validate the clone, consult the cache,
@@ -244,7 +253,7 @@ func (s *Server) submit(client, name string, blob []byte, cfg fpspy.Config) (*jo
 		if sv := s.obs.ServerMetricsOrNil(); sv != nil {
 			sv.Shed.Inc()
 		}
-		return nil, errDraining
+		return nil, ErrDraining
 	}
 	j, err := jobs.Decode(blob)
 	if err != nil {
@@ -261,7 +270,7 @@ func (s *Server) submit(client, name string, blob []byte, cfg fpspy.Config) (*jo
 		if sv := s.obs.ServerMetricsOrNil(); sv != nil {
 			sv.Shed.Inc()
 		}
-		return nil, errDraining
+		return nil, ErrDraining
 	}
 	s.seq++
 	rec := &jobRec{
@@ -310,7 +319,7 @@ func (s *Server) submit(client, name string, blob []byte, cfg fpspy.Config) (*jo
 		if sv != nil {
 			sv.Shed.Inc()
 		}
-		return nil, errQueueFull
+		return nil, ErrQueueFull
 	}
 }
 
@@ -340,9 +349,15 @@ func (s *Server) dispatch(q chan *jobRec) {
 }
 
 // runJob executes one primary submission's pass on the shared worker
-// pool and settles its cache entry.
+// pool and settles its cache entry. A primary whose entry already
+// settled while it waited in the queue (a peer-computed outcome arrived
+// via InstallOutcome) is skipped: the settle finalized it.
 func (s *Server) runJob(rec *jobRec) {
 	s.mu.Lock()
+	if rec.entry.settled {
+		s.mu.Unlock()
+		return
+	}
 	rec.state = StateRunning
 	rec.entry.started = true
 	hook := s.testBeforeRun
@@ -387,8 +402,15 @@ func executePass(j *jobs.Job, cfg fpspy.Config, m *obs.Metrics) (*Outcome, error
 
 // settle publishes a pass outcome: the entry's primary and every waiter
 // finalize together, then done is closed so result streams unblock.
+// Settling is first-writer-wins — a local pass racing a peer-installed
+// outcome (stolen job returned late, hedge resolved twice) leaves the
+// first result in place and discards the second.
 func (s *Server) settle(e *cacheEntry, out *Outcome, err error) {
 	s.mu.Lock()
+	if e.settled {
+		s.mu.Unlock()
+		return
+	}
 	e.out, e.err = out, err
 	e.settled = true
 	sv := s.obs.ServerMetricsOrNil()
@@ -402,8 +424,12 @@ func (s *Server) settle(e *cacheEntry, out *Outcome, err error) {
 }
 
 // finalizeLocked moves rec to its terminal state from a settled entry.
-// Caller holds s.mu.
+// Caller holds s.mu. A nil rec is an entry with no local primary — a
+// peer-installed outcome that no local submission attached to yet.
 func finalizeLocked(rec *jobRec, e *cacheEntry, sv *obs.ServerMetrics) {
+	if rec == nil {
+		return
+	}
 	if e.err != nil {
 		rec.state = StateFailed
 		rec.errs = e.err.Error()
@@ -455,9 +481,14 @@ func (s *Server) Shutdown() (int, error) {
 	}
 	// Waiters attached to a never-started entry are queued-but-unstarted
 	// submissions too; their entry is removed so a restarted daemon
-	// re-creates it.
+	// re-creates it. A stolen primary is not in any shard queue, so it
+	// is captured here as well — the stealer's late outcome has nowhere
+	// to land after shutdown, and the job must not be lost.
 	for key, e := range s.cache {
 		if !e.started && !e.settled {
+			if e.stolen && e.primary != nil {
+				pend = append(pend, e.primary)
+			}
 			pend = append(pend, e.waiters...)
 			e.waiters = nil
 			delete(s.cache, key)

@@ -255,8 +255,8 @@ func TestShedOnFullQueue(t *testing.T) {
 		t.Fatal(err) // fills the depth-1 queue
 	}
 	shedJob := testJob(t, "c", 3, nil)
-	if _, err := s.submit("c", "c", encode(t, shedJob), cfg); err != errQueueFull {
-		t.Fatalf("overflow submit err = %v, want errQueueFull", err)
+	if _, err := s.submit("c", "c", encode(t, shedJob), cfg); err != ErrQueueFull {
+		t.Fatalf("overflow submit err = %v, want ErrQueueFull", err)
 	}
 	if got := om.Server.Shed.Load(); got != 1 {
 		t.Fatalf("shed counter = %d, want 1", got)
