@@ -53,8 +53,11 @@ func buildEmulationProgram(n int) *fpspy.Program {
 // first inexact event and then masks, so virtually the whole run goes
 // through RunStraight; the ablation pair isolates what region caching
 // saves per retired instruction over the per-Step decode loop. The
-// chaos and corpus differentials pin the two engines bit-identical, so
-// any gap here is pure dispatch overhead.
+// accumulation-order probe suite (internal/study/probe_test.go) pins
+// the two engines bit-identical — every probe kernel's recovered tree
+// fingerprint is invariant across the superblock ablation (and every
+// other engine/schedule axis) — so any gap here is pure dispatch
+// overhead.
 func BenchmarkSuperblock(b *testing.B) {
 	prog := buildEmulationProgram(20000)
 

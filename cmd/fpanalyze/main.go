@@ -7,12 +7,20 @@
 // Usage:
 //
 //	fpanalyze [-forms] [-addrs] [-rate BIN_US] [-log FILE.fplog]
-//	          [-absint WORKLOAD [-size small|large]] [<file.fpemon>...]
+//	          [-absint WORKLOAD [-size small|large]] [-accumtree]
+//	          [<file.fpemon>...]
 //
 // With -absint the per-address rank table is cross-referenced against
 // the abstract interpreter's static verdicts for the named workload (the
 // static counterpart of the paper's Figure 19), and any dynamically
 // raised condition at a statically never-trap site fails the run.
+//
+// With -accumtree the trace is treated as an FPRev-style probe run
+// (fpstudy -probetraces): the per-trial exception counts are decoded
+// from the self-describing report gadget and the guest's accumulation
+// tree is reconstructed, printed in canonical form alongside its
+// fingerprint. Traces that do not carry a valid probe protocol fail
+// the run.
 package main
 
 import (
@@ -34,6 +42,7 @@ func main() {
 	logPath := flag.String("log", "", "also report a robustness monitor log (.fplog)")
 	absintW := flag.String("absint", "", "cross-reference the address ranks against static verdicts for this workload")
 	absintSize := flag.String("size", "large", "problem size for -absint: small or large")
+	accumTree := flag.Bool("accumtree", false, "reconstruct an FPRev-style probe's accumulation tree from the trace")
 	pprofAddr := flag.String("pprof", "", "serve pprof on this address while analyzing")
 	flag.Parse()
 	if *pprofAddr != "" {
@@ -116,6 +125,30 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *accumTree {
+		if !reportAccumTree(recs) {
+			os.Exit(1)
+		}
+	}
+}
+
+// reportAccumTree reconstructs the accumulation tree an FPRev-style
+// probe trace encodes and prints its canonical form and fingerprint.
+func reportAccumTree(recs []trace.Record) bool {
+	fs, err := analysis.ProbeTrialCounts(recs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpanalyze:", err)
+		return false
+	}
+	tree, err := analysis.RecoverProbeTree(recs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpanalyze:", err)
+		return false
+	}
+	fmt.Printf("\naccumulation tree: n=%d leaves over %d trials\n", tree.LeafCount(), len(fs))
+	fmt.Printf("  canonical:   %s\n", tree.Canonical())
+	fmt.Printf("  fingerprint: %s\n", tree.Fingerprint())
+	return true
 }
 
 // reportMonitorLog summarizes a robustness monitor log: every

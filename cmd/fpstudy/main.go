@@ -10,6 +10,14 @@
 //	fpstudy -workers 1 # force fully serial execution
 //	fpstudy -metrics -traceout study.trace.json   # observability on
 //
+// With -probe it instead runs the accumulation-order reproducibility
+// conformance matrix (ROADMAP item 3): every FPRev-style probe kernel
+// under every engine configuration and inject schedule, asserting the
+// reconstructed accumulation-tree fingerprint never changes (and that
+// the deliberately-broken kernel is detected). -probeout writes the
+// fingerprint corpus as JSON (the CI artifact); -probetraces dumps one
+// representative .fpemon trace per kernel for fpanalyze -accumtree.
+//
 // With -metrics (or -traceout/-metricsout/-pprof), every pass shares one
 // observability registry: the final summary reconciles exactly with the
 // emitted trace events, and the figures remain byte-identical to an
@@ -20,16 +28,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/study"
+	"repro/internal/workload"
 )
 
 func main() {
 	only := flag.String("only", "", "emit a single artifact (6-19 or s6)")
 	workers := flag.Int("workers", 0, "concurrent simulation passes (0 = one per CPU)")
+	probe := flag.Bool("probe", false, "run the accumulation-order reproducibility matrix instead of the figures")
+	probeSeeds := flag.Int("probeseeds", 4, "inject seeds swept per perturbed schedule (with -probe)")
+	probeOut := flag.String("probeout", "", "write the probe fingerprint corpus as JSON (with -probe)")
+	probeTraces := flag.String("probetraces", "", "directory for one representative .fpemon trace per probe kernel (with -probe)")
 	metrics := flag.Bool("metrics", false, "collect observability metrics and print a summary")
 	metricsOut := flag.String("metricsout", "", "write the final metrics snapshot as JSON (implies -metrics)")
 	traceOut := flag.String("traceout", "", "write a Chrome trace_event file (implies -metrics)")
@@ -53,6 +67,13 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "fpstudy: pprof and /metrics on http://%s\n", srv.Addr)
+	}
+	if *probe {
+		if err := runProbe(s, *probeSeeds, *probeOut, *probeTraces); err != nil {
+			fmt.Fprintln(os.Stderr, "fpstudy:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	gens := map[string]func() (*study.Table, error){
 		"6": s.Figure6, "7": s.Figure7, "8": s.Figure8, "9": s.Figure9,
@@ -82,6 +103,63 @@ func main() {
 	for _, t := range tables {
 		fmt.Println(t.Render())
 	}
+}
+
+// runProbe executes the reproducibility conformance matrix and emits
+// its artifacts. A nonzero failure count (including cross-cell
+// fingerprint disagreement) is a hard error so CI fails the build.
+func runProbe(s *study.Study, nseeds int, outFile, traceDir string) error {
+	if nseeds < 1 {
+		return fmt.Errorf("-probeseeds must be at least 1, got %d", nseeds)
+	}
+	seeds := make([]int64, nseeds)
+	for i := range seeds {
+		seeds[i] = int64(i)
+	}
+	cells := study.DefaultProbeCells(workload.SizeSmall, seeds)
+	r := s.ProbeMatrix(cells)
+	fmt.Println(r.Table().Render())
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		if err := r.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fpstudy: wrote %s (%d cells)\n", outFile, len(r.Cells))
+	}
+	if traceDir != "" {
+		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+			return err
+		}
+		for _, kind := range workload.ProbeKinds() {
+			spec := workload.DefaultProbeSpec(kind, workload.SizeSmall)
+			path := filepath.Join(traceDir, fmt.Sprintf("probe-%s.fpemon", kind))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			fp, err := study.WriteProbeTrace(spec, f)
+			if err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "fpstudy: wrote %s (%s)\n", path, fp)
+		}
+	}
+	if r.Failures > 0 {
+		return fmt.Errorf("probe matrix: %d of %d cells failed (inconsistent: %v)",
+			r.Failures, len(r.Cells), r.Inconsistent)
+	}
+	return nil
 }
 
 // emitObs prints the metrics summary and writes the snapshot/trace

@@ -122,6 +122,14 @@ type Options struct {
 	Env map[string]string
 	// CostModel overrides the kernel cycle cost model.
 	CostModel *kernel.CostModel
+	// NoFastPath forces the precise single-step engine, as the
+	// FPE_NOFASTPATH ablation does (the reproducibility suite runs both
+	// engines and requires identical guest-visible behavior).
+	NoFastPath bool
+	// Inject, when non-nil, perturbs kernel scheduling (seeded shuffle,
+	// quantum jitter, signal delay) without changing guest semantics —
+	// the adversarial-schedule axis of the reproducibility suite.
+	Inject *kernel.Inject
 	// Store, when non-nil, receives the traces instead of a fresh
 	// in-memory store (e.g. one built with NewStoreWithSink to model
 	// failing trace files).
@@ -168,6 +176,8 @@ func Run(prog *Program, opts Options) (*Result, error) {
 	if opts.CostModel != nil {
 		k.Cost = *opts.CostModel
 	}
+	k.NoFastPath = opts.NoFastPath
+	k.Inject = opts.Inject
 	k.Obs = opts.Obs
 	store := opts.Store
 	if store == nil {

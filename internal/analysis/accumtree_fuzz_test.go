@@ -1,0 +1,58 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// buildFuzzTree deterministically grows a binary accumulation tree over
+// n leaves, consuming split decisions from the fuzz input: at each
+// subrange the next byte picks the split point. Every consumed input
+// yields a well-formed tree, so the fuzzer explores tree shapes, not
+// parser corners.
+func buildFuzzTree(data []byte, lo, hi int, pos *int) *analysis.AccumTree {
+	if hi-lo == 1 {
+		return analysis.AccumLeaf(lo)
+	}
+	b := byte(0x5a)
+	if *pos < len(data) {
+		b = data[*pos]
+		*pos++
+	}
+	mid := lo + 1 + int(b)%(hi-lo-1+1)
+	if mid >= hi {
+		mid = hi - 1
+	}
+	return analysis.AccumJoin(buildFuzzTree(data, lo, mid, pos), buildFuzzTree(data, mid, hi, pos))
+}
+
+// FuzzAccumTreeRecover: any well-formed probe trace — synthesized from
+// a random binary tree's f-values — must round-trip through trace
+// extraction and LCA recovery back to the generating tree, bit-for-bit
+// on the canonical form.
+func FuzzAccumTreeRecover(f *testing.F) {
+	f.Add(3, []byte{})
+	f.Add(8, []byte{0, 1, 2, 3, 4, 5, 6})
+	f.Add(16, []byte{0x80, 0x40, 0x20, 0x10, 0x08})
+	f.Add(64, []byte{0xff, 0x01, 0x7f, 0x33, 0xaa, 0x55})
+	f.Fuzz(func(t *testing.T, n int, data []byte) {
+		if n < 2 || n > 64 {
+			t.Skip()
+		}
+		pos := 0
+		tree := buildFuzzTree(data, 0, n, &pos)
+		noise := len(data) > 0 && data[0]&1 == 1
+		recs := synthTrace(fvalsOf(tree), noise)
+		got, err := analysis.RecoverProbeTree(recs)
+		if err != nil {
+			t.Fatalf("n=%d: recovery failed on a well-formed trace: %v", n, err)
+		}
+		if got.Canonical() != tree.Canonical() {
+			t.Fatalf("n=%d: recovered %s, generated %s", n, got.Canonical(), tree.Canonical())
+		}
+		if got.Fingerprint() != tree.Fingerprint() {
+			t.Fatalf("n=%d: fingerprint mismatch", n)
+		}
+	})
+}

@@ -71,6 +71,9 @@ type Summary struct {
 	Records    int    `json:"records"`
 	Aggregates int    `json:"aggregates"`
 	Events     int    `json:"events"`
+	// AccumFingerprint is the accumulation-tree fingerprint for probe
+	// jobs (see Outcome.AccumFingerprint); empty for other workloads.
+	AccumFingerprint string `json:"accumFingerprint,omitempty"`
 }
 
 // FigureResponse answers GET /v1/figures?id=N.
@@ -291,7 +294,7 @@ func WriteResultStream(w http.ResponseWriter, id, name string, cacheHit bool, ou
 		ID: id, Name: name, CacheHit: cacheHit,
 		Steps: out.Steps, WallCycles: out.WallCycles, ExitCode: out.ExitCode,
 		EventSet: out.EventSet, Records: out.Records, Aggregates: out.Aggregates,
-		Events: len(out.Events),
+		Events: len(out.Events), AccumFingerprint: out.AccumFingerprint,
 	}})
 }
 

@@ -28,10 +28,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
 	fpspy "repro"
+	"repro/internal/analysis"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/study"
@@ -161,6 +163,12 @@ type Outcome struct {
 	// Records and Aggregates count the captured trace records.
 	Records    int
 	Aggregates int
+	// AccumFingerprint is the canonical accumulation-tree fingerprint
+	// recovered from the trace, for probe jobs (names prefixed "probe")
+	// run in unsampled individual mode; empty otherwise. Computed at
+	// pass time because the outcome — not the record stream — is what
+	// cluster routing ships between peers.
+	AccumFingerprint string
 }
 
 // New builds and starts a Server: dispatchers are running and the
@@ -389,7 +397,7 @@ func executePass(j *jobs.Job, cfg fpspy.Config, m *obs.Metrics) (*Outcome, error
 	if err != nil {
 		return nil, fmt.Errorf("record decode: %w", err)
 	}
-	return &Outcome{
+	out := &Outcome{
 		Events:     res.Store.MonitorEvents(),
 		Steps:      res.Steps,
 		WallCycles: res.WallCycles,
@@ -397,7 +405,13 @@ func executePass(j *jobs.Job, cfg fpspy.Config, m *obs.Metrics) (*Outcome, error
 		EventSet:   uint64(res.EventSet()),
 		Records:    len(recs),
 		Aggregates: len(res.Aggregates()),
-	}, nil
+	}
+	if strings.HasPrefix(j.Name, "probe") {
+		if tree, err := analysis.RecoverProbeTree(recs); err == nil {
+			out.AccumFingerprint = tree.Fingerprint()
+		}
+	}
+	return out, nil
 }
 
 // settle publishes a pass outcome: the entry's primary and every waiter

@@ -1,0 +1,199 @@
+package study_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/study"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// soakSeeds is the satellite's seed sweep: 0..7.
+var soakSeeds = []int64{0, 1, 2, 3, 4, 5, 6, 7}
+
+// TestProbeCrossScheduleSoak is the reproducibility conformance suite:
+// every engine configuration × inject scenario × seed, for every probe
+// kernel, asserting the recovered fingerprint matches the documented
+// tree (or, for the negative control, provably does not) and that all
+// cells of a kernel agree with each other. Under -race the parallel
+// subtests also stress the engines' concurrency. Short mode trims the
+// matrix to one kernel per engine configuration (rotating so all
+// kernels stay covered) with the full storm-schedule seed sweep, which
+// keeps the CI repro-smoke job under a minute.
+func TestProbeCrossScheduleSoak(t *testing.T) {
+	engines := study.ProbeEngines()
+	kinds := workload.ProbeKinds()
+	var cells []study.ProbeCell
+	if testing.Short() {
+		for i, eng := range engines {
+			spec := workload.DefaultProbeSpec(kinds[i%len(kinds)], workload.SizeSmall)
+			spec.Companion = true
+			storm := study.ProbeSchedules()[3]
+			for _, seed := range soakSeeds {
+				cells = append(cells, study.ProbeCell{Spec: spec, Engine: eng, Sched: storm, Seed: seed})
+			}
+		}
+		// Short mode must still exercise the negative control even when
+		// the engine rotation misses it.
+		broken := workload.DefaultProbeSpec(workload.ProbeBrokenReassoc, workload.SizeSmall)
+		cells = append(cells, study.ProbeCell{Spec: broken, Engine: engines[0], Sched: study.ProbeSchedules()[0]})
+	} else {
+		for _, kind := range kinds {
+			spec := workload.DefaultProbeSpec(kind, workload.SizeSmall)
+			spec.Companion = true
+			for _, eng := range engines {
+				for _, sched := range study.ProbeSchedules()[1:] {
+					for _, seed := range soakSeeds {
+						cells = append(cells, study.ProbeCell{Spec: spec, Engine: eng, Sched: sched, Seed: seed})
+					}
+				}
+				base := spec
+				base.Companion = false
+				cells = append(cells, study.ProbeCell{Spec: base, Engine: eng, Sched: study.ProbeSchedules()[0]})
+			}
+		}
+	}
+
+	results := make([]study.ProbeCellResult, len(cells))
+	for i := range cells {
+		i := i
+		cell := cells[i]
+		t.Run(cellName(cell), func(t *testing.T) {
+			t.Parallel()
+			res := study.RunProbeCell(cell)
+			results[i] = res
+			if res.Err != "" {
+				t.Fatalf("cell error: %s", res.Err)
+			}
+			if !res.Pass {
+				if res.Negative {
+					t.Fatalf("negative control not detected: recovered %s == expected %s", res.Fingerprint, res.Expected)
+				}
+				t.Fatalf("fingerprint changed: recovered %s (%s), expected %s", res.Fingerprint, res.Canonical, res.Expected)
+			}
+		})
+	}
+
+	t.Cleanup(func() {
+		report := study.AssembleProbeReport(results)
+		if len(report.Inconsistent) > 0 {
+			t.Errorf("kernels recovered multiple distinct trees across cells: %v", report.Inconsistent)
+		}
+	})
+}
+
+func cellName(c study.ProbeCell) string {
+	var sb strings.Builder
+	sb.WriteString(string(c.Spec.Kind))
+	sb.WriteString("/")
+	sb.WriteString(c.Engine.Name)
+	sb.WriteString("/")
+	sb.WriteString(c.Sched.Name)
+	if c.Sched.Name != "baseline" {
+		sb.WriteString("/seed=")
+		sb.WriteByte(byte('0' + c.Seed))
+	}
+	return sb.String()
+}
+
+// TestProbeMatrixWorkerCountInvariant runs the same cell list through a
+// serial study and a 4-worker study and requires byte-identical report
+// JSON — the study-parallelism axis of the matrix.
+func TestProbeMatrixWorkerCountInvariant(t *testing.T) {
+	seeds := soakSeeds
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	var cells []study.ProbeCell
+	storm := study.ProbeSchedules()[3]
+	for i, eng := range study.ProbeEngines() {
+		kinds := workload.ProbeKinds()
+		spec := workload.DefaultProbeSpec(kinds[(i+3)%len(kinds)], workload.SizeSmall)
+		spec.Companion = true
+		for _, seed := range seeds {
+			cells = append(cells, study.ProbeCell{Spec: spec, Engine: eng, Sched: storm, Seed: seed})
+		}
+	}
+	render := func(workers int) []byte {
+		t.Helper()
+		s := study.NewWithWorkers(workers)
+		var buf bytes.Buffer
+		if err := s.ProbeMatrix(cells).WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial, parallel := render(1), render(4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("probe report differs between 1 and 4 workers:\nserial:   %s\nparallel: %s", serial, parallel)
+	}
+	var report study.ProbeReport
+	if err := json.Unmarshal(serial, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Failures != 0 {
+		t.Fatalf("matrix reported %d failures: %s", report.Failures, serial)
+	}
+}
+
+// TestDefaultProbeCellsShape pins the matrix enumeration: every kind ×
+// every engine × (1 baseline + 3 perturbed × seeds) cells.
+func TestDefaultProbeCellsShape(t *testing.T) {
+	seeds := []int64{0, 1}
+	cells := study.DefaultProbeCells(workload.SizeSmall, seeds)
+	kinds, engines := len(workload.ProbeKinds()), len(study.ProbeEngines())
+	want := kinds * engines * (1 + 3*len(seeds))
+	if len(cells) != want {
+		t.Fatalf("matrix has %d cells, want %d", len(cells), want)
+	}
+	if engines != 8 {
+		t.Fatalf("engine matrix has %d configurations, want 8", engines)
+	}
+	names := map[string]bool{}
+	for _, e := range study.ProbeEngines() {
+		names[e.Name] = true
+	}
+	for _, wantName := range []string{"fast+prune+sb", "fast+prune", "fast+sb", "fast", "precise+prune+sb", "precise+prune", "precise+sb", "precise"} {
+		if !names[wantName] {
+			t.Fatalf("engine matrix missing %q (have %v)", wantName, names)
+		}
+	}
+}
+
+// TestWriteProbeTraceRoundTrips checks the .fpemon export path: the
+// bytes WriteProbeTrace emits decode as standard trace records, and the
+// tree recovered from them carries the returned fingerprint.
+func TestWriteProbeTraceRoundTrips(t *testing.T) {
+	spec := workload.DefaultProbeSpec(workload.ProbeBlocked, workload.SizeSmall)
+	var buf bytes.Buffer
+	fp, err := study.WriteProbeTrace(spec, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := analysis.RecoverProbeTree(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Fingerprint() != fp {
+		t.Fatalf("re-decoded fingerprint %s, want %s", tree.Fingerprint(), fp)
+	}
+	probe, err := workload.BuildProbe(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != probe.Expected.Fingerprint() {
+		t.Fatalf("fingerprint %s, expected %s", fp, probe.Expected.Fingerprint())
+	}
+	if !reflect.DeepEqual(tree, probe.Expected) {
+		t.Fatalf("recovered tree %s, expected %s", tree.Canonical(), probe.Expected.Canonical())
+	}
+}

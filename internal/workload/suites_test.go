@@ -130,7 +130,7 @@ func TestAllWorkloadsHaveDistinctNamesAndMeta(t *testing.T) {
 			t.Errorf("%s: incomplete metadata", w.Meta.Name)
 		}
 	}
-	if len(workload.All()) != 7+25+8 {
-		t.Errorf("registry has %d workloads, want 40", len(workload.All()))
+	if len(workload.All()) != 7+25+8+7 {
+		t.Errorf("registry has %d workloads, want 47", len(workload.All()))
 	}
 }
