@@ -644,3 +644,57 @@ func readU64(mem []byte, off int) uint64 {
 	}
 	return v
 }
+
+// BenchmarkShadowOverhead measures what the shadow-precision channel
+// (FPE_SHADOW) costs on a rounding-heavy guest, swept across the
+// precisions a root-cause study actually uses: off, binary64-matching
+// 53, binary128 113, and an oversampled 256. Every retired FP
+// instruction is re-executed in big.Float arithmetic, so the slowdown is
+// the per-op price of attribution; the off leg is the baseline the
+// shadow differential suite proves bit-identical.
+func BenchmarkShadowOverhead(b *testing.B) {
+	// 2000 iterations of add/mul/div over values that round on every op.
+	prog := func() *fpspy.Program {
+		pb := fpspy.NewProgram("shadow-bench")
+		pb.Movi(isa.R1, int64(math.Float64bits(0.1)))
+		pb.Movqx(isa.X0, isa.R1)
+		pb.Movi(isa.R1, int64(math.Float64bits(1.0000000001)))
+		pb.Movqx(isa.X1, isa.R1)
+		pb.Movi(isa.R1, int64(math.Float64bits(3)))
+		pb.Movqx(isa.X5, isa.R1)
+		pb.Movi(isa.R2, 0)
+		pb.Movi(isa.R3, 2000)
+		loop := pb.Label("loop")
+		pb.Bind(loop)
+		pb.FP2(isa.OpADDSD, isa.X2, isa.X2, isa.X0)
+		pb.FP2(isa.OpMULSD, isa.X3, isa.X2, isa.X1)
+		pb.FP2(isa.OpDIVSD, isa.X4, isa.X3, isa.X5)
+		pb.Addi(isa.R2, isa.R2, 1)
+		pb.Blt(isa.R2, isa.R3, loop)
+		pb.Hlt()
+		return pb.Build()
+	}()
+	for _, prec := range []uint64{0, 53, 113, 256} {
+		name := "off"
+		if prec != 0 {
+			name = "prec" + strconv.FormatUint(prec, 10)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := fpspy.Run(prog, fpspy.Options{
+					Config: fpspy.Config{Mode: fpspy.ModeIndividual, ShadowPrec: prec},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sites := res.Store.ShadowSites()
+				if prec == 0 && len(sites) != 0 {
+					b.Fatal("shadow-off run attributed sites")
+				}
+				if prec != 0 && len(sites) == 0 {
+					b.Fatal("shadow run attributed nothing")
+				}
+			}
+		})
+	}
+}

@@ -8,7 +8,16 @@
 //
 //	fpanalyze [-forms] [-addrs] [-rate BIN_US] [-log FILE.fplog]
 //	          [-absint WORKLOAD [-size small|large]] [-accumtree]
+//	          [-rootcause WORKLOAD [-rcprec 113] [-rcmitprec 113] [-rctop 20]]
 //	          [<file.fpemon>...]
+//
+// With -rootcause the named workload runs in-process under the
+// shadow-precision channel (FPE_SHADOW): every FP instruction is
+// recomputed at -rcprec mantissa bits, sites are ranked by the rounding
+// error they introduce, the attribution is cross-checked against an
+// individual-mode dynamic trace (an inconsistency fails the run), and
+// the adaptive-precision mitigated leg at -rcmitprec renders the
+// unmitigated-vs-mitigated comparison.
 //
 // With -absint the per-address rank table is cross-referenced against
 // the abstract interpreter's static verdicts for the named workload (the
@@ -43,6 +52,10 @@ func main() {
 	absintW := flag.String("absint", "", "cross-reference the address ranks against static verdicts for this workload")
 	absintSize := flag.String("size", "large", "problem size for -absint: small or large")
 	accumTree := flag.Bool("accumtree", false, "reconstruct an FPRev-style probe's accumulation tree from the trace")
+	rootCauseW := flag.String("rootcause", "", "run this workload under the shadow-precision channel and rank sites by introduced rounding error")
+	rcPrec := flag.Uint64("rcprec", 113, "shadow precision in mantissa bits (with -rootcause)")
+	rcMitPrec := flag.Uint("rcmitprec", 113, "adaptive-mitigation precision for the comparison figure (with -rootcause; 0 skips)")
+	rcTop := flag.Int("rctop", 20, "sites to print (with -rootcause; 0 = all)")
 	pprofAddr := flag.String("pprof", "", "serve pprof on this address while analyzing")
 	flag.Parse()
 	if *pprofAddr != "" {
@@ -53,8 +66,17 @@ func main() {
 		}
 		defer srv.Close()
 	}
+	if *rootCauseW != "" && flag.NArg() == 0 {
+		if *logPath != "" {
+			reportMonitorLog(*logPath)
+		}
+		if !reportRootCause(*rootCauseW, *absintSize, *rcPrec, *rcMitPrec, *rcTop) {
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() == 0 && *logPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: fpanalyze [-forms] [-addrs] [-rate BIN_US] [-log FILE.fplog] [<file.fpemon>...]")
+		fmt.Fprintln(os.Stderr, "usage: fpanalyze [-forms] [-addrs] [-rate BIN_US] [-log FILE.fplog] [-rootcause WORKLOAD] [<file.fpemon>...]")
 		os.Exit(2)
 	}
 
@@ -127,6 +149,11 @@ func main() {
 	}
 	if *accumTree {
 		if !reportAccumTree(recs) {
+			os.Exit(1)
+		}
+	}
+	if *rootCauseW != "" {
+		if !reportRootCause(*rootCauseW, *absintSize, *rcPrec, *rcMitPrec, *rcTop) {
 			os.Exit(1)
 		}
 	}

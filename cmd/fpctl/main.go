@@ -10,6 +10,7 @@
 //	fpctl result  -server URL -id job-000001        # NDJSON stream to stdout
 //	fpctl watch   -server URL -id job-000001
 //	fpctl figures -server URL [-id 8]
+//	fpctl rootcause -server URL -job ep.clone [-prec 113] [-top 10]
 //
 // submit's configuration flags mirror the paper's FPE_* environment
 // variables and are parsed by the same code path (core.ParseConfig).
@@ -23,12 +24,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/jobs"
 	"repro/internal/server"
@@ -53,13 +56,15 @@ func main() {
 		watch(os.Args[2:])
 	case "figures":
 		figures(os.Args[2:])
+	case "rootcause":
+		rootcause(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fpctl capture|submit|status|result|watch|figures [flags]")
+	fmt.Fprintln(os.Stderr, "usage: fpctl capture|submit|status|result|watch|figures|rootcause [flags]")
 	os.Exit(2)
 }
 
@@ -237,6 +242,63 @@ func watch(args []string) {
 	printStatus(st)
 	if st.State == server.StateFailed {
 		os.Exit(1)
+	}
+}
+
+// rootcause submits a clone as a shadow job (POST /v1/shadowjobs),
+// waits for the pass, and renders the ranked per-site attribution the
+// result stream carries.
+func rootcause(args []string) {
+	fs := flag.NewFlagSet("rootcause", flag.ExitOnError)
+	srv, cid := clientFlags(fs)
+	jobFile := fs.String("job", "", "clone file from fpctl capture (required)")
+	name := fs.String("name", "", "override the submission name")
+	prec := fs.Uint64("prec", 0, "shadow precision in mantissa bits (0 = server default)")
+	top := fs.Int("top", 10, "sites to print (0 = all)")
+	interval := fs.Duration("interval", 200*time.Millisecond, "poll interval")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *jobFile == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	blob, err := os.ReadFile(*jobFile)
+	if err != nil {
+		fatal(err)
+	}
+	c := client.New(*srv, *cid)
+	resp, err := c.SubmitShadowBlobContext(context.Background(), *name, blob, core.Config{}, *prec)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := c.Watch(resp.ID, *interval)
+	if err != nil {
+		fatal(err)
+	}
+	if st.State == server.StateFailed {
+		printStatus(st)
+		os.Exit(1)
+	}
+	var sites []analysis.RootCauseSite
+	sum, err := c.StreamResult(resp.ID, func(line server.ResultLine) error {
+		if line.Type == "site" && line.Site != nil {
+			sites = append(sites, *line.Site)
+		}
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("root cause @ %d-bit shadow: %d sites, %d ops, %.4g ulps introduced (99%% in top %d), max divergence %d ulps\n",
+		sum.ShadowPrec, sum.ShadowSites, sum.ShadowOps, sum.ShadowLocalUlps, sum.ShadowSites99, sum.ShadowMaxUlps)
+	fmt.Printf("%4s  %-12s %-8s %10s %10s  %12s %12s %8s\n",
+		"rank", "addr", "op", "count", "diverged", "local-ulps", "prop-ulps", "max-ulps")
+	for i, s := range sites {
+		if *top > 0 && i >= *top {
+			fmt.Printf("... %d more sites\n", len(sites)-i)
+			break
+		}
+		fmt.Printf("%4d  %#-12x %-8s %10d %10d  %12.4g %12.4g %8d\n",
+			i+1, s.Addr, s.Op, s.Count, s.Diverged, s.LocalUlps, s.PropUlps, s.MaxUlps)
 	}
 }
 

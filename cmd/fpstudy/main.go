@@ -18,6 +18,14 @@
 // fingerprint corpus as JSON (the CI artifact); -probetraces dumps one
 // representative .fpemon trace per kernel for fpanalyze -accumtree.
 //
+// With -shadow it runs the shadow-precision root-cause study: each
+// selected workload (all corpus apps by default; -shadowonly filters)
+// executes with the shadow channel attached at -shadowprec mantissa
+// bits, its FP sites are ranked by introduced rounding error, and
+// -mitprec adds an adaptive-precision mitigated leg for the
+// unmitigated-vs-mitigated comparison. -shadowout writes the full
+// report as JSON.
+//
 // With -metrics (or -traceout/-metricsout/-pprof), every pass shares one
 // observability registry: the final summary reconciles exactly with the
 // emitted trace events, and the figures remain byte-identical to an
@@ -44,6 +52,11 @@ func main() {
 	probeSeeds := flag.Int("probeseeds", 4, "inject seeds swept per perturbed schedule (with -probe)")
 	probeOut := flag.String("probeout", "", "write the probe fingerprint corpus as JSON (with -probe)")
 	probeTraces := flag.String("probetraces", "", "directory for one representative .fpemon trace per probe kernel (with -probe)")
+	shadow := flag.Bool("shadow", false, "run the shadow-precision root-cause study instead of the figures")
+	shadowPrec := flag.Uint64("shadowprec", study.DefaultShadowPrec, "shadow precision in mantissa bits (with -shadow)")
+	shadowOnly := flag.String("shadowonly", "", "comma-separated workloads to shadow (with -shadow; empty = all corpus apps)")
+	shadowOut := flag.String("shadowout", "", "write the shadow report as JSON (with -shadow)")
+	mitPrec := flag.Uint("mitprec", 0, "add an adaptive-precision mitigated leg at this precision (with -shadow)")
 	metrics := flag.Bool("metrics", false, "collect observability metrics and print a summary")
 	metricsOut := flag.String("metricsout", "", "write the final metrics snapshot as JSON (implies -metrics)")
 	traceOut := flag.String("traceout", "", "write a Chrome trace_event file (implies -metrics)")
@@ -70,6 +83,13 @@ func main() {
 	}
 	if *probe {
 		if err := runProbe(s, *probeSeeds, *probeOut, *probeTraces); err != nil {
+			fmt.Fprintln(os.Stderr, "fpstudy:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shadow {
+		if err := runShadow(s, *shadowPrec, *shadowOnly, *shadowOut, *mitPrec); err != nil {
 			fmt.Fprintln(os.Stderr, "fpstudy:", err)
 			os.Exit(1)
 		}
@@ -158,6 +178,40 @@ func runProbe(s *study.Study, nseeds int, outFile, traceDir string) error {
 	if r.Failures > 0 {
 		return fmt.Errorf("probe matrix: %d of %d cells failed (inconsistent: %v)",
 			r.Failures, len(r.Cells), r.Inconsistent)
+	}
+	return nil
+}
+
+// runShadow executes the shadow-precision root-cause study and emits
+// its artifacts. Cell errors are hard failures so CI fails the build.
+func runShadow(s *study.Study, prec uint64, only, outFile string, mitPrec uint) error {
+	var names []string
+	if only != "" {
+		for _, n := range strings.Split(only, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	cells := study.DefaultShadowCells(names, prec, mitPrec, workload.SizeSmall)
+	r := s.ShadowMatrix(cells)
+	fmt.Println(r.Table().Render())
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		if err := r.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fpstudy: wrote %s (%d cells)\n", outFile, len(r.Cells))
+	}
+	if r.Failures > 0 {
+		return fmt.Errorf("shadow study: %d of %d cells failed", r.Failures, len(r.Cells))
 	}
 	return nil
 }

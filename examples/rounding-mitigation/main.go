@@ -72,9 +72,8 @@ func main() {
 			panic("did not halt")
 		}
 		hw := math.Float64frombits(m.CPU.X[isa.X0][0])
-		shadow := sh.MaxRelError
-		fmt.Printf("precision %3d bits: hardware err %.3e, hw-vs-shadow divergence %.3e (%d ops emulated)\n",
-			prec, math.Abs(hw-exact)/exact, shadow, sh.Emulated)
+		fmt.Printf("precision %3d bits: hardware err %.3e, hw-vs-shadow divergence %d ulps (%d ops emulated)\n",
+			prec, math.Abs(hw-exact)/exact, sh.MaxUlps(), sh.Emulated())
 	}
 	fmt.Println("\nhigher shadow precision exposes exactly the rounding error the")
 	fmt.Println("hardware accumulates; at 53 bits the shadow reproduces it bit-for-bit.")

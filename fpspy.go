@@ -31,6 +31,7 @@ import (
 	"io"
 
 	"repro/internal/adaptive"
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/kernel"
@@ -66,6 +67,11 @@ type (
 	DegradeState = core.DegradeState
 	// AbortReason types why FPSpy degraded.
 	AbortReason = core.AbortReason
+	// RootCauseReport ranks FP instruction sites by introduced rounding
+	// error (from a run with Config.ShadowPrec set).
+	RootCauseReport = analysis.RootCauseReport
+	// RootCauseSite is one attributed instruction site.
+	RootCauseSite = analysis.RootCauseSite
 )
 
 // NewStore creates an empty trace store for Options.Store.
@@ -89,6 +95,10 @@ const (
 	FlagUnderflow    = softfloat.FlagUnderflow
 	FlagInexact      = softfloat.FlagInexact
 	AllEvents        = core.AllEvents
+
+	// MinShadowPrec/MaxShadowPrec bound Config.ShadowPrec (FPE_SHADOW).
+	MinShadowPrec = core.MinShadowPrec
+	MaxShadowPrec = core.MaxShadowPrec
 )
 
 // Re-exported degradation states and typed abort reasons.
@@ -213,6 +223,17 @@ func Run(prog *Program, opts Options) (*Result, error) {
 		Proc:       p,
 		TraceErr:   errors.Join(store.FlushErrs()...),
 	}, nil
+}
+
+// RootCause assembles the ranked shadow attribution report from a run
+// with Config.ShadowPrec > 0, labeled with that precision. It returns
+// nil when no site was shadow-executed (or shadowing was off).
+func (r *Result) RootCause(prec uint64) *RootCauseReport {
+	sites := r.Store.ShadowSites()
+	if len(sites) == 0 {
+		return nil
+	}
+	return analysis.BuildRootCause(prec, sites)
 }
 
 // MitigationStats aggregates what adaptive precision did during a

@@ -1,0 +1,108 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// shadowDiff runs one scenario with and without the shadow-precision
+// channel (FPE_SHADOW) and returns a description of the first observable
+// divergence, or "" when the runs are bit-identical. The shadow channel
+// is a pure observer: it recomputes retired FP instructions on the side
+// but must never change guest registers, memory, control flow,
+// retirement counts, recorded traces, or monitor events.
+func shadowDiff(sc Scenario, prec uint64) (string, error) {
+	sc.Config.ShadowPrec = 0
+	bare, err := runOnce(sc, true, false)
+	if err != nil {
+		return "", err
+	}
+	sc.Config.ShadowPrec = prec
+	shadowed, err := runOnce(sc, true, false)
+	if err != nil {
+		return "", err
+	}
+	if d := diffSnapshots("noshadow", "shadow", bare.Snap, shadowed.Snap); d != "" {
+		return d, nil
+	}
+	br, err := bare.Store.AllRecords()
+	if err != nil {
+		return "", err
+	}
+	sr, err := shadowed.Store.AllRecords()
+	if err != nil {
+		return "", err
+	}
+	if len(br) != len(sr) {
+		return "record count differs", nil
+	}
+	for i := range br {
+		if br[i] != sr[i] {
+			return "trace records differ", nil
+		}
+	}
+	if a, b := eventSummary(bare.Store), eventSummary(shadowed.Store); a != b {
+		return "monitor events differ", nil
+	}
+	return "", nil
+}
+
+// TestShadowDifferential runs every chaos family with FPE_SHADOW off and
+// on and requires the guest-visible outcome — registers, mask registers,
+// memory, exit codes, retirement counts — to be bit-identical, plus the
+// recorded traces and monitor events. This is the acceptance criterion
+// that shadow mode observes but never perturbs, held under the same
+// adversarial guests (signal stealers, MXCSR stompers, fork bursts) that
+// exercise every degradation path.
+func TestShadowDifferential(t *testing.T) {
+	for _, f := range Families() {
+		f := f
+		t.Run(string(f), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 2; seed++ {
+				sc := Generate(f, seed)
+				sc.Config.Mode = core.ModeIndividual
+				d, err := shadowDiff(sc, 113)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if d != "" {
+					t.Fatalf("seed %d: shadow channel changed observable state: %s", seed, d)
+				}
+			}
+		})
+	}
+}
+
+// FuzzShadowDifferential fuzzes the same transparency property over the
+// (family, seed, precision) space.
+func FuzzShadowDifferential(f *testing.F) {
+	fams := Families()
+	for i := range fams {
+		f.Add(i, int64(1), uint64(113))
+	}
+	f.Add(0, int64(7), uint64(24))
+	f.Add(3, int64(5), uint64(256))
+	f.Fuzz(func(t *testing.T, fi int, seed int64, prec uint64) {
+		if fi < 0 || fi >= len(fams) || seed <= 0 {
+			t.Skip()
+		}
+		if prec < core.MinShadowPrec || prec > 512 {
+			// Stay within the config's floor and keep mantissas small
+			// enough that the fuzzer spends its budget on scenarios, not
+			// on multi-kilobyte big.Float arithmetic.
+			t.Skip()
+		}
+		sc := Generate(fams[fi], seed)
+		sc.Config.Mode = core.ModeIndividual
+		d, err := shadowDiff(sc, prec)
+		if err != nil {
+			t.Fatalf("%s seed %d: %v", fams[fi], seed, err)
+		}
+		if d != "" {
+			t.Fatalf("%s seed %d prec %d: shadow channel changed observable state: %s",
+				fams[fi], seed, prec, d)
+		}
+	})
+}

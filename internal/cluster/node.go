@@ -176,6 +176,7 @@ func NewNode(o Options) (*Node, error) {
 	n.rpc = newRPCClient(hc, o, n.cm())
 	n.mux = http.NewServeMux()
 	n.mux.HandleFunc("POST /v1/jobs", n.handleSubmit)
+	n.mux.HandleFunc("POST /v1/shadowjobs", n.handleShadowSubmit)
 	n.mux.HandleFunc("GET /v1/jobs/{id}", n.handleStatus)
 	n.mux.HandleFunc("GET /v1/jobs/{id}/result", n.handleResult)
 	n.mux.HandleFunc("POST /cluster/v1/run", n.handleRun)
@@ -240,12 +241,35 @@ func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		clusterError(w, http.StatusBadRequest, "bad submit body: %v", err)
 		return
 	}
-	j, err := jobs.Decode(req.Clone)
+	n.routeSubmission(w, r, req.Name, req.Clone, req.Config)
+}
+
+// handleShadowSubmit routes a shadow-attribution submission. The shadow
+// precision is folded into the config before the content address is
+// computed, so the same shadow job submitted through any two peers
+// routes to the same owner and runs exactly one pass cluster-wide.
+func (n *Node) handleShadowSubmit(w http.ResponseWriter, r *http.Request) {
+	var req server.ShadowSubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		clusterError(w, http.StatusBadRequest, "bad submit body: %v", err)
+		return
+	}
+	cfg, err := server.NormalizeShadowConfig(req.Config, req.Prec)
+	if err != nil {
+		clusterError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	n.routeSubmission(w, r, req.Name, req.Clone, cfg)
+}
+
+// routeSubmission is the shared tail of the submit routes: admission on
+// the node the client connected to, then content-addressed routing.
+func (n *Node) routeSubmission(w http.ResponseWriter, r *http.Request, name string, clone []byte, cfg fpspy.Config) {
+	j, err := jobs.Decode(clone)
 	if err != nil {
 		clusterError(w, http.StatusBadRequest, "bad clone: %v", err)
 		return
 	}
-	name := req.Name
 	if name == "" {
 		name = j.Name
 	}
@@ -260,11 +284,11 @@ func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		clusterError(w, http.StatusTooManyRequests, "client %q rate limited", clientID)
 		return
 	}
-	key := server.CacheKey(j, req.Config)
+	key := server.CacheKey(j, cfg)
 
 	owner := n.ring.Owner(key)
 	if owner == "" || owner == n.opts.Self {
-		n.submitLocal(w, clientID, name, req.Clone, req.Config, false)
+		n.submitLocal(w, clientID, name, clone, cfg, false)
 		return
 	}
 
@@ -283,7 +307,7 @@ func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	pj := n.newProxyJob(name, clientID, key)
 	n.wg.Add(1)
 	go n.forward(pj, runRequest{
-		Name: name, Client: clientID, Clone: req.Clone, Config: req.Config, Key: key,
+		Name: name, Client: clientID, Clone: clone, Config: cfg, Key: key,
 	})
 	clusterJSON(w, http.StatusAccepted, server.SubmitResponse{ID: pj.id, State: server.StateQueued})
 }

@@ -21,6 +21,9 @@
 //	FPE_NOPRUNE      "yes": disable static trap-site pruning (ablation)
 //	FPE_NOSUPERBLOCK "yes": disable the superblock region cache and run
 //	                 the fast path per-instruction (ablation)
+//	FPE_SHADOW       shadow-precision channel: recompute every FP op at
+//	                 N mantissa bits and attribute rounding error per
+//	                 site (0/unset disables)
 package core
 
 import (
@@ -100,7 +103,23 @@ type Config struct {
 	// uncached runs are bit-identical — this exists for differential
 	// testing and for measuring the superblock speedup.
 	NoSuperblock bool
+	// ShadowPrec, when nonzero, attaches a shadow-precision channel
+	// (internal/shadow) to every monitored thread's machine: each retired
+	// FP instruction is recomputed in ShadowPrec-bit big.Float arithmetic
+	// and its rounding error attributed to the instruction site. 0 (the
+	// default) disables shadowing; the guest's architectural results are
+	// bit-identical either way — the channel only observes.
+	ShadowPrec uint64
 }
+
+// Shadow precision bounds (mantissa bits). The floor is binary32's 24 so
+// a shadow can emulate any native format exactly; the ceiling keeps a
+// pathological FPE_SHADOW from allocating multi-kilobyte mantissas per
+// lane.
+const (
+	MinShadowPrec = 24
+	MaxShadowPrec = 4096
+)
 
 // eventNames maps FPE_EXCEPT_LIST tokens to condition flags.
 var eventNames = map[string]softfloat.Flags{
@@ -133,6 +152,14 @@ func ParseConfig(env map[string]string) (Config, error) {
 	cfg.Breakpoints = isYes(env["FPE_BRKPT"])
 	cfg.NoPrune = isYes(env["FPE_NOPRUNE"])
 	cfg.NoSuperblock = isYes(env["FPE_NOSUPERBLOCK"])
+	if v := env["FPE_SHADOW"]; v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || n < MinShadowPrec || n > MaxShadowPrec {
+			return cfg, fmt.Errorf("fpspy: bad FPE_SHADOW %q (want precision in [%d,%d])",
+				v, MinShadowPrec, MaxShadowPrec)
+		}
+		cfg.ShadowPrec = n
+	}
 	switch strings.ToLower(env["FPE_TIMER"]) {
 	case "", "virtual":
 		cfg.VirtualTimer = true
@@ -223,6 +250,9 @@ func (c Config) EnvVars() map[string]string {
 	}
 	if c.NoSuperblock {
 		env["FPE_NOSUPERBLOCK"] = "yes"
+	}
+	if c.ShadowPrec > 0 {
+		env["FPE_SHADOW"] = strconv.FormatUint(c.ShadowPrec, 10)
 	}
 	if !c.VirtualTimer {
 		env["FPE_TIMER"] = "real"

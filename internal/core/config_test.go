@@ -72,6 +72,11 @@ func TestParseConfigErrors(t *testing.T) {
 		{"FPE_SAMPLE": "0"},
 		{"FPE_SAMPLE": "5:"},
 		{"FPE_SAMPLE": "0:100"},
+		{"FPE_SHADOW": "wide"},
+		{"FPE_SHADOW": "0"},
+		{"FPE_SHADOW": "23"},   // below binary32's mantissa
+		{"FPE_SHADOW": "4097"}, // above the allocation guard
+		{"FPE_SHADOW": "-113"},
 	}
 	for _, env := range bad {
 		if _, err := ParseConfig(env); err == nil {
@@ -104,6 +109,8 @@ func TestEnvVarsRoundTrip(t *testing.T) {
 		{Mode: ModeIndividual, ExceptList: AllEvents, SampleOnUS: 5, SampleOffUS: 100, Poisson: true, VirtualTimer: true},
 		{Mode: ModeIndividual, ExceptList: AllEvents, VirtualTimer: false},
 		{Mode: ModeAggregate, ExceptList: AllEvents, Disable: true, VirtualTimer: true},
+		{Mode: ModeIndividual, ExceptList: AllEvents, ShadowPrec: 113, VirtualTimer: true},
+		{Mode: ModeIndividual, ExceptList: AllEvents, ShadowPrec: MaxShadowPrec, VirtualTimer: true},
 	}
 	for _, in := range cfgs {
 		env := in.EnvVars()

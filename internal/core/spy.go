@@ -7,6 +7,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/mxcsr"
 	"repro/internal/obs"
+	"repro/internal/shadow"
 	"repro/internal/softfloat"
 	"repro/internal/trace"
 )
@@ -48,7 +49,10 @@ type threadState struct {
 	// protoStart is the tracer timestamp of the SIGFPE that armed the
 	// two-trap protocol; the matching SIGTRAP closes the span.
 	protoStart int64
-	rng        *rand.Rand
+	// shadow is the thread's shadow-precision channel (FPE_SHADOW); nil
+	// when shadowing is off.
+	shadow *shadow.Channel
+	rng    *rand.Rand
 }
 
 // Spy is one process's FPSpy instance.
@@ -81,6 +85,7 @@ type Spy struct {
 	// and never influence monitoring decisions.
 	om  *obs.SpyMetrics
 	opm *obs.PruneMetrics
+	osh *obs.ShadowMetrics
 	otr *obs.Tracer
 }
 
@@ -101,6 +106,7 @@ func FactoryObs(store *Store, m *obs.Metrics) kernel.ObjectFactory {
 			fights:  make(map[kernel.Signal]uint64),
 			om:      m.SpyMetricsOrNil(),
 			opm:     m.PruneMetricsOrNil(),
+			osh:     m.ShadowMetricsOrNil(),
 			otr:     m.TracerOrNil(),
 		}
 		return s.object()
@@ -233,6 +239,9 @@ func (s *Spy) threadInit(k *kernel.Kernel, t *kernel.Task) {
 	if s.cfg.NoSuperblock {
 		t.M.NoSuperblock = true
 	}
+	if s.cfg.ShadowPrec > 0 {
+		ts.shadow = shadow.Attach(t.M, uint(s.cfg.ShadowPrec), s.osh)
+	}
 	cpu := &t.M.CPU
 	cpu.MXCSR.ClearFlags()
 	if s.state == StateIndividual {
@@ -279,6 +288,12 @@ func (s *Spy) period(ts *threadState, meanUS uint64) uint64 {
 func (s *Spy) threadTeardown(k *kernel.Kernel, t *kernel.Task) {
 	if s.inert {
 		return
+	}
+	if ts := s.threads[t.TID]; ts != nil && ts.shadow != nil {
+		// Thread exit is the attribution flush point: the channel's
+		// per-site rows fold into the store (the merge is commutative, so
+		// thread exit order never changes a report).
+		s.store.mergeShadowSites(ts.shadow.Sites())
 	}
 	if ts := s.threads[t.TID]; ts != nil && s.state == StateIndividual {
 		if t.M.CPU.MXCSR.Masks() != s.expectedMasks(ts) {

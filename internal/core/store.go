@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/analysis"
 	"repro/internal/trace"
 )
 
@@ -28,6 +29,9 @@ type Store struct {
 	aggregates []trace.Aggregate
 	events     []trace.MonitorEvent
 	flushErrs  []error
+	// shadowSites accumulates per-site shadow attribution rows merged
+	// across threads (FPE_SHADOW); nil until the first merge.
+	shadowSites map[uint64]analysis.RootCauseSite
 	// Faults counts every SIGFPE FPSpy handled (recorded or not).
 	Faults uint64
 	// Recorded counts records actually written.
@@ -100,6 +104,32 @@ func (s *Store) SignalFights() map[string]uint64 {
 			out[ev.Signal]++
 		}
 	}
+	return out
+}
+
+// mergeShadowSites folds one thread's shadow attribution rows into the
+// store (sum/max merge per address, see analysis.MergeRootCauseSite).
+func (s *Store) mergeShadowSites(sites []analysis.RootCauseSite) {
+	if len(sites) == 0 {
+		return
+	}
+	if s.shadowSites == nil {
+		s.shadowSites = make(map[uint64]analysis.RootCauseSite, len(sites))
+	}
+	for _, site := range sites {
+		s.shadowSites[site.Addr] = analysis.MergeRootCauseSite(s.shadowSites[site.Addr], site)
+	}
+}
+
+// ShadowSites returns the merged shadow attribution rows ordered by
+// address (empty when FPE_SHADOW was off or nothing shadow-executed).
+func (s *Store) ShadowSites() []analysis.RootCauseSite {
+	out := make([]analysis.RootCauseSite, 0, len(s.shadowSites))
+	for addr, site := range s.shadowSites {
+		site.Addr = addr
+		out = append(out, site)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
 	return out
 }
 

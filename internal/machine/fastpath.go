@@ -29,7 +29,11 @@ func (m *Machine) RunStraight(max uint64) (uint64, Event) {
 	if m.CPU.TF {
 		return 0, m.Step()
 	}
-	if m.NoSuperblock {
+	if m.NoSuperblock || m.Shadow != nil {
+		// A shadow sink needs the per-instruction PreStep/Retired pair;
+		// the superblock engine retires whole regions at once, so it
+		// cannot drive one. Falling back reuses the ablation path whose
+		// bit-identity to the superblock engine is proven elsewhere.
 		var n uint64
 		for n < max {
 			if ev := m.Step(); ev != nil {

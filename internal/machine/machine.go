@@ -152,6 +152,15 @@ type Machine struct {
 	// FPE_NOSUPERBLOCK ablation knob; results are bit-identical either
 	// way.
 	NoSuperblock bool
+	// Shadow, when non-nil, observes instruction flow for the
+	// shadow-precision channel (internal/shadow): PreStep fires after
+	// instruction resolution with pre-execution state still readable,
+	// and Retired fires iff that instruction retires. The sink never
+	// mutates machine state, so execution is bit-identical with or
+	// without it. RunStraight falls back to the per-instruction path
+	// while a sink is attached so superblock batching never skips a
+	// notification.
+	Shadow ShadowSink
 
 	// codeVersion tags cached superblock regions; anything that changes
 	// how an instruction executes in place (breakpoint stubbing, prune
@@ -335,6 +344,9 @@ func (m *Machine) Step() Event {
 	info := inst.Op.Info()
 	addr := m.CPU.RIP
 	next := addr + isa.InstBytes
+	if m.Shadow != nil {
+		m.Shadow.PreStep(addr, inst, info)
+	}
 	c := &m.CPU
 
 	switch info.Class {
@@ -578,6 +590,9 @@ func (m *Machine) retire(next uint64, idx int) {
 	m.CPU.RIP = next
 	m.nextIdx = idx
 	m.Retired++
+	if m.Shadow != nil {
+		m.Shadow.Retired()
+	}
 }
 
 // retireTo completes an instruction and delivers a single-step trap when

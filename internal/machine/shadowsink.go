@@ -1,0 +1,18 @@
+package machine
+
+import "repro/internal/isa"
+
+// ShadowSink observes instruction flow for the shadow-precision value
+// channel (internal/shadow implements it). The machine calls PreStep
+// once per Step after resolving the instruction, while every source
+// operand still holds its pre-execution value, and Retired exactly when
+// that instruction retires (faulting or trapping instructions never
+// reach Retired — the sink must treat an unretired PreStep as stale).
+//
+// A sink must never mutate machine state; the contract is pure
+// observation, which is what makes shadow-on runs bit-identical to
+// shadow-off runs.
+type ShadowSink interface {
+	PreStep(addr uint64, inst *isa.Inst, info *isa.OpInfo)
+	Retired()
+}

@@ -8,12 +8,13 @@
 //
 // Two pieces are provided:
 //
-//   - ShadowExecutor: runs a guest program while maintaining a shadow
-//     high-precision value for every vector register lane and every
-//     stored double, re-executing rounding instructions at a configurable
-//     precision. The divergence between the hardware results and the
-//     shadow results quantifies how much accuracy the mitigation
-//     recovers.
+//   - ShadowExecutor: runs a guest program with the shadow-precision
+//     channel (internal/shadow) attached, maintaining a high-precision
+//     shadow value for every vector register lane and every stored
+//     float. The divergence between the hardware results and the shadow
+//     results — measured in integer ULPs of the native format, with an
+//     explicit skip policy for NaN and infinite operands — quantifies
+//     how much accuracy the mitigation recovers.
 //
 //   - Feasibility: the locality-based amortization model that Section 6's
 //     rank-popularity analysis motivates — whether patching the top-K
@@ -21,90 +22,47 @@
 package mitigate
 
 import (
-	"math"
-	"math/big"
-
 	"repro/internal/analysis"
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/shadow"
 )
 
-// ShadowExecutor runs a program on a machine while shadowing scalar
-// binary64 arithmetic at high precision.
+// ShadowExecutor runs a program on a machine while shadowing its
+// floating point state at high precision. It is a driving loop around
+// the shadow channel: the channel observes every retired instruction
+// through the machine's ShadowSink hooks, and the executor only steps
+// the machine and decides which events end the run.
 type ShadowExecutor struct {
 	// M is the guest machine.
 	M *machine.Machine
 	// Prec is the shadow mantissa precision in bits (53 = plain double).
 	Prec uint
 
-	regs [isa.NumVecRegs]*big.Float
-	mem  map[uint64]*big.Float
-
-	// Emulated counts the instructions re-executed in software.
-	Emulated uint64
-	// MaxRelError is the largest relative divergence observed between a
-	// hardware result and its shadow at a comparison point.
-	MaxRelError float64
-	// ErrSamples counts comparison points.
-	ErrSamples uint64
+	ch *shadow.Channel
 }
 
 // NewShadowExecutor wraps a machine with a shadow FPU of the given
 // precision.
 func NewShadowExecutor(m *machine.Machine, prec uint) *ShadowExecutor {
-	return &ShadowExecutor{M: m, Prec: prec, mem: make(map[uint64]*big.Float)}
+	return &ShadowExecutor{M: m, Prec: prec, ch: shadow.Attach(m, prec, nil)}
 }
 
-// ShadowSupported reports whether the shadow executor can re-execute an
-// instruction form at high precision: the scalar binary64 arithmetic and
-// fused multiply-add forms. Packed, single-precision, conversion, and
-// compare forms fall back to the hardware result. Static analysis
+// ShadowSupported reports whether the shadow channel re-executes an
+// instruction form at high precision: binary64 arithmetic and fused
+// multiply-add forms, scalar or packed (including masked AVX-512
+// z-forms), plus scalar binary32 arithmetic. Compare, convert, and
+// round forms fall back to the hardware result. Static analysis
 // (internal/binscan) uses this predicate to mark which discovered sites
 // the Section 6 mitigation could patch.
-func ShadowSupported(op isa.Opcode) bool {
-	info := op.Info()
-	switch info.Class {
-	case isa.ClassFPArith, isa.ClassFMA:
-		return info.Prec == isa.F64 && info.Lanes == 1
-	}
-	return false
-}
+func ShadowSupported(op isa.Opcode) bool { return shadow.Supported(op) }
 
-func (s *ShadowExecutor) newFloat() *big.Float {
-	return new(big.Float).SetPrec(s.Prec)
-}
-
-// shadowReg returns the shadow of a register lane 0, deriving it from
-// the hardware value when absent.
-func (s *ShadowExecutor) shadowReg(r uint8) *big.Float {
-	if s.regs[r] == nil {
-		s.regs[r] = s.newFloat().SetFloat64(math.Float64frombits(s.M.CPU.X[r][0]))
-	}
-	return s.regs[r]
-}
-
-func (s *ShadowExecutor) setShadowReg(r uint8, v *big.Float) {
-	s.regs[r] = v
-}
-
-// invalidateReg drops a shadow (hardware value takes over).
-func (s *ShadowExecutor) invalidateReg(r uint8) {
-	s.regs[r] = nil
-}
-
-// Run executes up to maxSteps instructions, shadowing scalar f64
-// arithmetic, and returns the events the machine produced. Unhandled
-// machine events (halt, fault) end the run.
+// Run executes up to maxSteps instructions under the shadow channel
+// and returns the event that ended the run. CallC and single-step trap
+// events are transparent to shadowing; anything else (halt, fault)
+// ends the run. Returns nil when maxSteps is exhausted.
 func (s *ShadowExecutor) Run(maxSteps uint64) machine.Event {
 	for i := uint64(0); i < maxSteps; i++ {
-		idx := s.M.Prog.IndexOf(s.M.CPU.RIP)
-		if idx < 0 {
-			return s.M.Step() // let the machine fault
-		}
-		inst := &s.M.Prog.Insts[idx]
-		// Operand shadows must be derived from the *pre-step* hardware
-		// state; after Step the destination may alias a source.
-		s.prefetch(inst)
 		ev := s.M.Step()
 		if ev != nil {
 			switch ev.(type) {
@@ -115,157 +73,31 @@ func (s *ShadowExecutor) Run(maxSteps uint64) machine.Event {
 				return ev
 			}
 		}
-		s.shadow(inst)
 	}
 	return nil
 }
 
-// prefetch materializes the shadows of an instruction's source operands
-// from the current (pre-execution) hardware state.
-func (s *ShadowExecutor) prefetch(inst *isa.Inst) {
-	info := inst.Op.Info()
-	switch info.Class {
-	case isa.ClassFPArith:
-		if ShadowSupported(inst.Op) {
-			s.shadowReg(inst.Rs1)
-			s.shadowReg(inst.Rs2)
-		}
-	case isa.ClassFMA:
-		if ShadowSupported(inst.Op) {
-			s.shadowReg(inst.Rs1)
-			s.shadowReg(inst.Rs2)
-			s.shadowReg(inst.Rs3)
-		}
-	case isa.ClassFPMove:
-		if inst.Op == isa.OpMOVSD && s.regs[inst.Rs1] == nil {
-			s.shadowReg(inst.Rs1)
-		}
-	}
-}
+// Stats returns the channel's accounting: shadow-executed ops,
+// diverged lanes, invalidations, and the error totals.
+func (s *ShadowExecutor) Stats() shadow.Stats { return s.ch.Stats() }
 
-// shadow re-executes one retired instruction on the shadow state.
-func (s *ShadowExecutor) shadow(inst *isa.Inst) {
-	info := inst.Op.Info()
-	switch info.Class {
-	case isa.ClassFPArith:
-		if !ShadowSupported(inst.Op) {
-			s.invalidateReg(inst.Rd)
-			return
-		}
-		a := s.shadowReg(inst.Rs1)
-		b := s.shadowReg(inst.Rs2)
-		z := s.newFloat()
-		switch info.FP {
-		case isa.FPAdd:
-			z.Add(a, b)
-		case isa.FPSub:
-			z.Sub(a, b)
-		case isa.FPMul:
-			z.Mul(a, b)
-		case isa.FPDiv:
-			if b.Sign() == 0 {
-				s.invalidateReg(inst.Rd)
-				return
-			}
-			z.Quo(a, b)
-		case isa.FPSqrt:
-			if a.Sign() < 0 {
-				s.invalidateReg(inst.Rd)
-				return
-			}
-			z.Sqrt(a)
-		case isa.FPMin:
-			if a.Cmp(b) < 0 {
-				z.Set(a)
-			} else {
-				z.Set(b)
-			}
-		case isa.FPMax:
-			if a.Cmp(b) > 0 {
-				z.Set(a)
-			} else {
-				z.Set(b)
-			}
-		}
-		s.setShadowReg(inst.Rd, z)
-		s.Emulated++
-	case isa.ClassFMA:
-		if !ShadowSupported(inst.Op) {
-			s.invalidateReg(inst.Rd)
-			return
-		}
-		a := s.shadowReg(inst.Rs1)
-		b := s.shadowReg(inst.Rs2)
-		c := s.shadowReg(inst.Rs3)
-		z := s.newFloat().Mul(a, b)
-		switch info.FMA {
-		case isa.FMAdd:
-			z.Add(z, c)
-		case isa.FMSub:
-			z.Sub(z, c)
-		case isa.FNMAdd:
-			z.Neg(z)
-			z.Add(z, c)
-		case isa.FNMSub:
-			z.Neg(z)
-			z.Sub(z, c)
-		}
-		s.setShadowReg(inst.Rd, z)
-		s.Emulated++
-	case isa.ClassFPMove:
-		switch inst.Op {
-		case isa.OpMOVSD:
-			if s.regs[inst.Rs1] != nil {
-				s.setShadowReg(inst.Rd, s.newFloat().Set(s.regs[inst.Rs1]))
-			} else {
-				s.invalidateReg(inst.Rd)
-			}
-		default:
-			s.invalidateReg(inst.Rd)
-		}
-	case isa.ClassMem:
-		switch inst.Op {
-		case isa.OpFLD:
-			ea := s.M.CPU.R[inst.Rs1] + uint64(inst.Imm)
-			if sv, ok := s.mem[ea]; ok {
-				s.setShadowReg(inst.Rd, s.newFloat().Set(sv))
-			} else {
-				s.invalidateReg(inst.Rd)
-			}
-		case isa.OpFST:
-			ea := s.M.CPU.R[inst.Rs1] + uint64(inst.Imm)
-			if sv := s.regs[inst.Rs2]; sv != nil {
-				s.mem[ea] = s.newFloat().Set(sv)
-				s.compare(inst.Rs2, sv)
-			} else {
-				delete(s.mem, ea)
-			}
-		case isa.OpFLDS, isa.OpFLDV:
-			s.invalidateReg(inst.Rd)
-		}
-	case isa.ClassFPConvert:
-		s.invalidateReg(inst.Rd)
-	}
-}
+// Emulated counts the lane operations re-executed in software.
+func (s *ShadowExecutor) Emulated() uint64 { return s.ch.Stats().Ops }
 
-// compare records the divergence between a hardware register and its
-// shadow at an observation point (a store).
-func (s *ShadowExecutor) compare(r uint8, shadow *big.Float) {
-	hw := math.Float64frombits(s.M.CPU.X[r][0])
-	sv, _ := shadow.Float64()
-	if math.IsNaN(hw) || math.IsNaN(sv) || math.IsInf(hw, 0) || math.IsInf(sv, 0) {
-		return
-	}
-	denom := math.Abs(sv)
-	if denom == 0 {
-		return
-	}
-	rel := math.Abs(hw-sv) / denom
-	s.ErrSamples++
-	if rel > s.MaxRelError {
-		s.MaxRelError = rel
-	}
-}
+// MaxUlps is the largest integer ULP distance observed between a
+// hardware result and its shadow rounded to the native format. The
+// distance is measured on the monotone ordinal lattice (±0 collapsed);
+// lanes with NaN or infinite operands or results are skipped entirely
+// (counted in Stats().NonFinite), never charged.
+func (s *ShadowExecutor) MaxUlps() uint64 { return s.ch.Stats().MaxUlps }
+
+// Diverged counts lane operations whose shadow rounded to different
+// native-format bits than the hardware produced.
+func (s *ShadowExecutor) Diverged() uint64 { return s.ch.Stats().Diverged }
+
+// Sites returns the per-site attribution rows the run accumulated,
+// ordered by address; rank them with analysis.BuildRootCause.
+func (s *ShadowExecutor) Sites() []analysis.RootCauseSite { return s.ch.Sites() }
 
 // FeasibilityReport is the amortization analysis of Section 6: whether
 // the locality of rounding sites makes a mitigation system practical.

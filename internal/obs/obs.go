@@ -45,6 +45,10 @@ type Metrics struct {
 	// Flop holds SDE-style FLOP accounting from internal/machine:
 	// per-op, per-precision retired lane operations.
 	Flop FlopMetrics
+	// Shadow instruments the shadow-precision value channel in
+	// internal/shadow: attached channels, shadow-executed lane ops,
+	// divergence, and the bounded tracking maps.
+	Shadow ShadowMetrics
 	// Study instruments the pass scheduler in internal/study.
 	Study StudyMetrics
 	// Server instruments the fpspyd daemon in internal/server.
@@ -136,6 +140,15 @@ func (m *Metrics) FlopMetricsOrNil() *FlopMetrics {
 		return nil
 	}
 	return &m.Flop
+}
+
+// ShadowMetricsOrNil returns the shadow-channel instrument group, or
+// nil when observability is disabled.
+func (m *Metrics) ShadowMetricsOrNil() *ShadowMetrics {
+	if m == nil {
+		return nil
+	}
+	return &m.Shadow
 }
 
 // StudyMetricsOrNil returns the study instrument group, or nil when
@@ -325,6 +338,38 @@ type SpyMetrics struct {
 	ThreadsMonitored Counter
 	// TimerFlips counts temporal-sampler phase flips.
 	TimerFlips Counter
+}
+
+// ShadowMetrics instruments the shadow-precision value channel
+// (internal/shadow). Like every group, the zero value is ready and a
+// nil pointer records nothing.
+type ShadowMetrics struct {
+	// Channels counts shadow channels attached (one per monitored
+	// thread of a shadow-enabled run).
+	Channels Counter
+	// Ops counts shadow-executed lane operations (comparison points).
+	Ops Counter
+	// Invalidations counts destination shadows reset to native by
+	// unsupported or non-finite operations.
+	Invalidations Counter
+	// NonFinite counts lane operations skipped under the NaN/Inf
+	// policy.
+	NonFinite Counter
+	// SiteOverflow counts lane operations at sites beyond the site
+	// table's capacity (executed and shadowed, but not attributed).
+	SiteOverflow Counter
+	// MemDrops counts stored shadows discarded because the memory
+	// shadow map was at capacity.
+	MemDrops Counter
+	// Sites is the high-water count of attributed sites in one channel.
+	Sites Gauge
+	// MemShadows is the high-water size of a channel's memory shadow
+	// map.
+	MemShadows Gauge
+	// Divergence is the distribution of integer ULP distances between
+	// native results and their shadows, one observation per
+	// shadow-executed lane.
+	Divergence Histogram
 }
 
 // StudyMetrics instruments the pass scheduler.

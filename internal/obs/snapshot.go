@@ -72,6 +72,9 @@ const (
 	NamePruneSitesTotal     = "prune.sites-total"
 	NamePruneSitesPruned    = "prune.sites-pruned"
 	NameFlopMaskedSkipped   = "flop.masked-skipped"
+	NameShadowChannels      = "shadow.channels"
+	NameShadowOps           = "shadow.ops"
+	NameShadowSites         = "shadow.sites"
 )
 
 // flopOpNames orders the FlopMetrics op groups for flattening; the
@@ -181,6 +184,17 @@ func (m *Metrics) Snapshot() Snapshot {
 	counter("spy.threads-monitored", &sp.ThreadsMonitored)
 	counter("spy.sampler-flips", &sp.TimerFlips)
 	hist("spy.protocol-ns", &sp.ProtocolNS)
+
+	sh := &m.Shadow
+	counter(NameShadowChannels, &sh.Channels)
+	counter(NameShadowOps, &sh.Ops)
+	counter("shadow.invalidations", &sh.Invalidations)
+	counter("shadow.nonfinite", &sh.NonFinite)
+	counter("shadow.site-overflow", &sh.SiteOverflow)
+	counter("shadow.mem-drops", &sh.MemDrops)
+	gauge(NameShadowSites, &sh.Sites)
+	gauge("shadow.mem-shadows", &sh.MemShadows)
+	hist("shadow.ulp-divergence", &sh.Divergence)
 
 	st := &m.Study
 	counter(NameStudyPassRequests, &st.PassRequests)

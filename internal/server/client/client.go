@@ -17,6 +17,7 @@ import (
 	"time"
 
 	fpspy "repro"
+	"repro/internal/analysis"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -319,6 +320,34 @@ func (c *Client) SubmitBlobContext(ctx context.Context, name string, blob []byte
 	return &resp, nil
 }
 
+// SubmitShadow posts a clone to /v1/shadowjobs: the pass runs with the
+// shadow-precision channel attached and the result stream carries the
+// ranked root-cause attribution. prec 0 defers to cfg.ShadowPrec, then
+// the server default.
+func (c *Client) SubmitShadow(job *jobs.Job, cfg fpspy.Config, prec uint64) (*server.SubmitResponse, error) {
+	return c.SubmitShadowContext(context.Background(), job, cfg, prec)
+}
+
+// SubmitShadowContext is SubmitShadow under a context.
+func (c *Client) SubmitShadowContext(ctx context.Context, job *jobs.Job, cfg fpspy.Config, prec uint64) (*server.SubmitResponse, error) {
+	blob, err := job.Encode()
+	if err != nil {
+		return nil, err
+	}
+	return c.SubmitShadowBlobContext(ctx, job.Name, blob, cfg, prec)
+}
+
+// SubmitShadowBlobContext posts an already-encoded clone as a shadow job.
+func (c *Client) SubmitShadowBlobContext(ctx context.Context, name string, blob []byte, cfg fpspy.Config, prec uint64) (*server.SubmitResponse, error) {
+	var resp server.SubmitResponse
+	err := c.doCtx(ctx, http.MethodPost, "/v1/shadowjobs",
+		server.ShadowSubmitRequest{Name: name, Clone: blob, Config: cfg, Prec: prec}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Status fetches a job's lifecycle state.
 func (c *Client) Status(id string) (*server.StatusResponse, error) {
 	return c.StatusContext(context.Background(), id)
@@ -371,6 +400,9 @@ type Result struct {
 	// Events is the parsed monitor log (trace.ParseMonitorLog over
 	// Lines) — bit-identical to the in-process store's event list.
 	Events []trace.MonitorEvent
+	// Sites is the ranked root-cause attribution (shadow jobs only),
+	// in stream (rank) order.
+	Sites []analysis.RootCauseSite
 	// Summary is the stream's closing record.
 	Summary server.Summary
 }
@@ -426,8 +458,11 @@ func (c *Client) StreamResultContext(ctx context.Context, id string, fn func(ser
 func (c *Client) Result(id string) (*Result, error) {
 	var res Result
 	sum, err := c.StreamResult(id, func(line server.ResultLine) error {
-		if line.Type == "event" {
+		switch {
+		case line.Type == "event":
 			res.Lines = append(res.Lines, line.Line)
+		case line.Type == "site" && line.Site != nil:
+			res.Sites = append(res.Sites, *line.Site)
 		}
 		return nil
 	})

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	fpspy "repro"
+	"repro/internal/analysis"
 	"repro/internal/obs"
 	"repro/internal/study"
 )
@@ -27,6 +28,27 @@ type SubmitRequest struct {
 	Clone []byte `json:"clone"`
 	// Config is the FPSpy configuration to replay under.
 	Config fpspy.Config `json:"config"`
+}
+
+// DefaultShadowPrec is the shadow precision a /v1/shadowjobs submission
+// runs at when it names none: binary128's 113-bit mantissa, enough to
+// separate local from propagated error for any binary64 guest while
+// staying cheap to evaluate.
+const DefaultShadowPrec = 113
+
+// ShadowSubmitRequest is the POST /v1/shadowjobs body: a job submission
+// that runs with the shadow-precision channel attached and streams the
+// ranked root-cause attribution alongside the usual result.
+type ShadowSubmitRequest struct {
+	// Name optionally overrides the clone's submission name.
+	Name string `json:"name,omitempty"`
+	// Clone is the gob-encoded submission clone (base64 on the wire).
+	Clone []byte `json:"clone"`
+	// Config is the FPSpy configuration to replay under.
+	Config fpspy.Config `json:"config"`
+	// Prec is the shadow precision in mantissa bits; 0 means
+	// Config.ShadowPrec, or DefaultShadowPrec if that is also 0.
+	Prec uint64 `json:"prec,omitempty"`
 }
 
 // SubmitResponse answers POST /v1/jobs.
@@ -48,13 +70,17 @@ type StatusResponse struct {
 }
 
 // ResultLine is one NDJSON line of a streamed result: every monitor-log
-// event in order, then exactly one summary line.
+// event in order, then (for shadow jobs) the ranked attribution sites,
+// then exactly one summary line.
 type ResultLine struct {
-	// Type is "event" or "summary".
+	// Type is "event", "site", or "summary".
 	Type string `json:"type"`
 	// Line is the monitor-log line in trace.ParseMonitorLog format
 	// (event lines only).
 	Line string `json:"line,omitempty"`
+	// Site is one attributed instruction site, in rank order (site
+	// lines only; shadow jobs).
+	Site *analysis.RootCauseSite `json:"site,omitempty"`
 	// Summary closes the stream (summary line only).
 	Summary *Summary `json:"summary,omitempty"`
 }
@@ -74,6 +100,17 @@ type Summary struct {
 	// AccumFingerprint is the accumulation-tree fingerprint for probe
 	// jobs (see Outcome.AccumFingerprint); empty for other workloads.
 	AccumFingerprint string `json:"accumFingerprint,omitempty"`
+	// Shadow* summarize the attribution report for shadow jobs
+	// (all zero for ordinary jobs): the precision the pass ran at, the
+	// attributed site count, the 99%-error-coverage prefix length, the
+	// shadow-executed op count, the total introduced error in fractional
+	// ULPs, and the largest integer-ULP divergence observed.
+	ShadowPrec      uint64  `json:"shadowPrec,omitempty"`
+	ShadowSites     int     `json:"shadowSites,omitempty"`
+	ShadowSites99   int     `json:"shadowSites99,omitempty"`
+	ShadowOps       uint64  `json:"shadowOps,omitempty"`
+	ShadowLocalUlps float64 `json:"shadowLocalUlps,omitempty"`
+	ShadowMaxUlps   uint64  `json:"shadowMaxUlps,omitempty"`
 }
 
 // FigureResponse answers GET /v1/figures?id=N.
@@ -98,6 +135,7 @@ const maxSubmitBytes = 64 << 20
 func (s *Server) buildMux() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/shadowjobs", s.handleShadowSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/figures", s.handleFigures)
@@ -154,31 +192,25 @@ func (s *Server) observeNS(h *obs.Histogram, start time.Time) {
 	}
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	defer func() {
-		if sv := s.obs.ServerMetricsOrNil(); sv != nil {
-			s.observeNS(&sv.SubmitNS, start)
-		}
-	}()
-
-	client := clientID(r)
+// admitClient applies per-client rate limiting; on rejection the 429
+// (with Retry-After) has been written and ok is false.
+func (s *Server) admitClient(w http.ResponseWriter, r *http.Request) (client string, ok bool) {
+	client = clientID(r)
 	if ok, wait := s.lim.allow(client); !ok {
 		if sv := s.obs.ServerMetricsOrNil(); sv != nil {
 			sv.RateLimited.Inc()
 		}
 		w.Header().Set("Retry-After", retryAfterSeconds(wait))
 		writeError(w, http.StatusTooManyRequests, "client %s rate limited", client)
-		return
+		return client, false
 	}
+	return client, true
+}
 
-	var req SubmitRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad submission body: %v", err)
-		return
-	}
-	rec, err := s.submit(client, req.Name, req.Clone, req.Config)
+// acceptSubmission runs the shared submit tail — enqueue (or cache-hit)
+// and respond — for the plain and shadow submit handlers.
+func (s *Server) acceptSubmission(w http.ResponseWriter, client, name string, clone []byte, cfg fpspy.Config) {
+	rec, err := s.submit(client, name, clone, cfg)
 	switch {
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -197,6 +229,80 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusOK
 	}
 	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() {
+		if sv := s.obs.ServerMetricsOrNil(); sv != nil {
+			s.observeNS(&sv.SubmitNS, start)
+		}
+	}()
+
+	client, ok := s.admitClient(w, r)
+	if !ok {
+		return
+	}
+
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad submission body: %v", err)
+		return
+	}
+	s.acceptSubmission(w, client, req.Name, req.Clone, req.Config)
+}
+
+// handleShadowSubmit accepts POST /v1/shadowjobs: the same submission
+// flow as /v1/jobs, with the shadow-precision channel forced on. The
+// precision is folded into the config before the cache key is computed,
+// so a shadow job and the plain job over the same clone are distinct
+// cache entries (and distinct precisions are too), while resubmitting
+// the same shadow job — to any peer in a cluster — hits the cache.
+func (s *Server) handleShadowSubmit(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() {
+		if sv := s.obs.ServerMetricsOrNil(); sv != nil {
+			s.observeNS(&sv.SubmitNS, start)
+		}
+	}()
+
+	client, ok := s.admitClient(w, r)
+	if !ok {
+		return
+	}
+
+	var req ShadowSubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad submission body: %v", err)
+		return
+	}
+	cfg, err := NormalizeShadowConfig(req.Config, req.Prec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.acceptSubmission(w, client, req.Name, req.Clone, cfg)
+}
+
+// NormalizeShadowConfig resolves a shadow submission's effective config:
+// an explicit request precision wins, then Config.ShadowPrec, then
+// DefaultShadowPrec. Normalizing before the cache key is computed is
+// what makes "default precision" and "explicit 113" the same cache
+// entry. The cluster router shares this so routing and execution agree.
+func NormalizeShadowConfig(cfg fpspy.Config, prec uint64) (fpspy.Config, error) {
+	if prec != 0 {
+		cfg.ShadowPrec = prec
+	}
+	if cfg.ShadowPrec == 0 {
+		cfg.ShadowPrec = DefaultShadowPrec
+	}
+	if cfg.ShadowPrec < fpspy.MinShadowPrec || cfg.ShadowPrec > fpspy.MaxShadowPrec {
+		return cfg, fmt.Errorf("shadow precision %d out of range [%d,%d]",
+			cfg.ShadowPrec, fpspy.MinShadowPrec, fpspy.MaxShadowPrec)
+	}
+	return cfg, nil
 }
 
 // lookup fetches a job record and a snapshot of its mutable state.
@@ -290,12 +396,29 @@ func WriteResultStream(w http.ResponseWriter, id, name string, cacheHit bool, ou
 			flusher.Flush()
 		}
 	}
-	enc.Encode(ResultLine{Type: "summary", Summary: &Summary{ //nolint:errcheck // client gone
+	sum := &Summary{
 		ID: id, Name: name, CacheHit: cacheHit,
 		Steps: out.Steps, WallCycles: out.WallCycles, ExitCode: out.ExitCode,
 		EventSet: out.EventSet, Records: out.Records, Aggregates: out.Aggregates,
 		Events: len(out.Events), AccumFingerprint: out.AccumFingerprint,
-	}})
+	}
+	if rc := out.RootCause; rc != nil {
+		for i := range rc.Sites {
+			if err := enc.Encode(ResultLine{Type: "site", Site: &rc.Sites[i]}); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		sum.ShadowPrec = rc.Prec
+		sum.ShadowSites = len(rc.Sites)
+		sum.ShadowSites99 = rc.Sites99
+		sum.ShadowOps = rc.TotalOps
+		sum.ShadowLocalUlps = rc.TotalLocalUlps
+		sum.ShadowMaxUlps = rc.MaxUlps
+	}
+	enc.Encode(ResultLine{Type: "summary", Summary: sum}) //nolint:errcheck // client gone
 }
 
 // figureGens maps figure IDs to their generators on the shared study.

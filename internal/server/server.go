@@ -169,6 +169,10 @@ type Outcome struct {
 	// pass time because the outcome — not the record stream — is what
 	// cluster routing ships between peers.
 	AccumFingerprint string
+	// RootCause is the ranked shadow attribution report for shadow jobs
+	// (Config.ShadowPrec > 0); nil otherwise. Like AccumFingerprint it
+	// is computed at pass time so the cache and cluster routing carry it.
+	RootCause *analysis.RootCauseReport
 }
 
 // New builds and starts a Server: dispatchers are running and the
@@ -410,6 +414,9 @@ func executePass(j *jobs.Job, cfg fpspy.Config, m *obs.Metrics) (*Outcome, error
 		if tree, err := analysis.RecoverProbeTree(recs); err == nil {
 			out.AccumFingerprint = tree.Fingerprint()
 		}
+	}
+	if cfg.ShadowPrec > 0 {
+		out.RootCause = analysis.BuildRootCause(cfg.ShadowPrec, res.Store.ShadowSites())
 	}
 	return out, nil
 }

@@ -71,6 +71,12 @@ func TestCacheKeyDeterministicAndSensitive(t *testing.T) {
 		"sample": CacheKey(j1, fpspy.Config{
 			Mode: fpspy.ModeIndividual, SampleOnUS: 5, SampleOffUS: 100,
 		}),
+		"shadow": CacheKey(j1, fpspy.Config{
+			Mode: fpspy.ModeIndividual, ShadowPrec: 113,
+		}),
+		"shadow-prec": CacheKey(j1, fpspy.Config{
+			Mode: fpspy.ModeIndividual, ShadowPrec: 256,
+		}),
 	}
 	base := CacheKey(j1, cfg)
 	seen := map[string]string{base: "base"}

@@ -25,6 +25,7 @@ var enumTypes = map[string]bool{
 	"repro/internal/core.AbortReason":       true,
 	"repro/internal/trace.MonitorEventKind": true,
 	"repro/internal/machine.SBKind":         true,
+	"repro/internal/shadow.SampleClass":     true,
 }
 
 func checkPackage(fset *token.FileSet, p *pkg) []diagnostic {
